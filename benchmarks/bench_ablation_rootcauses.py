@@ -1,0 +1,138 @@
+"""Ablations of the §2.2 root causes and DepFast's countermeasures.
+
+Each ablation toggles exactly one design choice DESIGN.md calls out and
+shows the corresponding pathology appear or disappear:
+
+* quorum-aware discard + bounded buffers (DepFast framework policy) vs
+  blind unbounded buffering — leader-side backlog under a CPU-slow
+  follower;
+* TiDB's EntryCache size — a large cache removes the blocking disk reads
+  and recovers throughput;
+* MongoDB's flow-control checkpoint — disabling it removes the stalls.
+"""
+
+from dataclasses import replace
+
+from conftest import paper_profile, save_result
+
+from repro.baselines import deploy_baseline
+from repro.baselines.mongo_like import MongoLikeRsm
+from repro.baselines.tidb_like import TidbLikeRsm
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeSpec
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import deploy_depfast_raft
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+GROUP = ["s1", "s2", "s3"]
+
+
+def _drive(cluster, n_clients=48, until=8000.0):
+    workload = YcsbWorkload(
+        cluster.rng.stream("ycsb"), record_count=100_000, value_size=1000
+    )
+    driver = ClosedLoopDriver(cluster, GROUP, workload, n_clients=n_clients)
+    driver.start()
+    cluster.run(until_ms=until)
+    return driver.report(2000.0, until)
+
+
+def _depfast_run(discard: bool, buffer_limit, fault="cpu_slow"):
+    cluster = Cluster(seed=42)
+    config = RaftConfig(preferred_leader="s1", discard_on_quorum=discard)
+    spec = NodeSpec(send_buffer_limit=buffer_limit)
+    deploy_depfast_raft(cluster, GROUP, config=config, spec=spec)
+    FaultInjector(cluster).inject("s3", fault)
+    report = _drive(cluster)
+    backlog = cluster.network.buffered_bytes_from("s1")
+    return report, backlog
+
+
+def test_ablation_quorum_discard_and_buffer_bound(benchmark):
+    def run():
+        protected, protected_backlog = _depfast_run(
+            discard=True, buffer_limit=4 * 1024 * 1024
+        )
+        blind, blind_backlog = _depfast_run(discard=False, buffer_limit=None)
+        return protected, protected_backlog, blind, blind_backlog
+
+    protected, protected_backlog, blind, blind_backlog = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: framework fail-slow policy (quorum discard + bounded buffers)",
+        f"  protected: backlog={protected_backlog/2**20:8.2f} MB  "
+        f"tput={protected.throughput_ops_s:7.0f} ops/s",
+        f"  blind:     backlog={blind_backlog/2**20:8.2f} MB  "
+        f"tput={blind.throughput_ops_s:7.0f} ops/s",
+    ]
+    save_result("ablation_discard", "\n".join(lines))
+    # Blind buffering accumulates orders of magnitude more leader memory.
+    assert protected_backlog <= 4 * 1024 * 1024
+    assert blind_backlog > 4 * protected_backlog
+
+
+def test_ablation_tidb_entry_cache_size(benchmark):
+    def run_with_cache(cache_entries):
+        cluster = Cluster(seed=42)
+        config = TidbLikeRsm.default_config("s1")
+        config = replace(config, entry_cache_entries=cache_entries)
+        nodes = deploy_baseline(cluster, TidbLikeRsm, GROUP, config=config)
+        FaultInjector(cluster).inject("s3", "cpu_slow")
+        report = _drive(cluster)
+        return report, nodes["s1"].blocking_reads
+
+    def run():
+        small = run_with_cache(512)
+        large = run_with_cache(1_000_000)  # effectively infinite
+        return small, large
+
+    (small_report, small_reads), (large_report, large_reads) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: TiDB-like EntryCache size under a cpu_slow follower",
+        f"  cache=512:     blocking_reads={small_reads:6d}  "
+        f"tput={small_report.throughput_ops_s:7.0f} ops/s",
+        f"  cache=1M:      blocking_reads={large_reads:6d}  "
+        f"tput={large_report.throughput_ops_s:7.0f} ops/s",
+    ]
+    save_result("ablation_entry_cache", "\n".join(lines))
+    assert small_reads > 0
+    assert large_reads == 0
+    if paper_profile():
+        assert large_report.throughput_ops_s > 1.15 * small_report.throughput_ops_s
+
+
+def test_ablation_mongo_checkpoint_interval(benchmark):
+    def run_with_checkpoint(every_batches):
+        cluster = Cluster(seed=42)
+        nodes = deploy_baseline(cluster, MongoLikeRsm, GROUP)
+        nodes["s1"].checkpoint_every_batches = every_batches
+        FaultInjector(cluster).inject("s3", "cpu_slow")
+        report = _drive(cluster)
+        return report, nodes["s1"].checkpoint_stalls
+
+    def run():
+        frequent = run_with_checkpoint(8)
+        disabled = run_with_checkpoint(10**9)
+        return frequent, disabled
+
+    (freq_report, freq_stalls), (off_report, off_stalls) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    lines = [
+        "Ablation: MongoDB-like flow-control checkpoint under a cpu_slow follower",
+        f"  checkpoint every 8 batches: stalls={freq_stalls:5d}  "
+        f"tput={freq_report.throughput_ops_s:7.0f} ops/s  p99={freq_report.p99_latency_ms:7.2f} ms",
+        f"  checkpoint disabled:        stalls={off_stalls:5d}  "
+        f"tput={off_report.throughput_ops_s:7.0f} ops/s  p99={off_report.p99_latency_ms:7.2f} ms",
+    ]
+    save_result("ablation_checkpoint", "\n".join(lines))
+    assert freq_stalls > 0
+    assert off_stalls == 0
+    if paper_profile():
+        assert off_report.throughput_ops_s > 1.2 * freq_report.throughput_ops_s
+        assert off_report.p99_latency_ms < 0.6 * freq_report.p99_latency_ms

@@ -1,0 +1,76 @@
+"""Chain replication vs quorum replication under one fail-slow node.
+
+The design-tradeoff analysis §3.3 proposes: chain replication (every write
+flows through every node — 1/1 waits) against DepFastRaft (majority
+quorums) on identical hardware, workload and fault. The chain collapses to
+the slow node's pace; the quorum system doesn't notice. The SPG/tolerance
+checker predicts exactly this from the wait structure alone.
+"""
+
+from conftest import save_result
+
+from repro.chain import deploy_chain
+from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import deploy_depfast_raft
+from repro.trace.verify import check_fail_slow_tolerance
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+GROUP = ["s1", "s2", "s3"]
+FAULTS = ["none", "cpu_slow", "disk_slow", "network_slow"]
+
+
+def _run(system: str, fault: str):
+    cluster = Cluster(seed=42)
+    if system == "chain":
+        deploy_chain(cluster, GROUP)
+    else:
+        deploy_depfast_raft(cluster, GROUP, config=RaftConfig(preferred_leader="s1"))
+    if fault != "none":
+        FaultInjector(cluster).inject("s2", fault)  # middle node / follower
+    workload = YcsbWorkload(cluster.rng.stream("ycsb"), record_count=100_000, value_size=1000)
+    driver = ClosedLoopDriver(cluster, GROUP, workload, n_clients=32)
+    driver.start()
+    cluster.run(until_ms=8000.0)
+    report = driver.report(2000.0, 8000.0)
+    tolerance = check_fail_slow_tolerance(cluster.tracer.records, [GROUP])
+    return report, tolerance
+
+
+def test_chain_vs_quorum_fail_slow(benchmark):
+    def run():
+        results = {}
+        for system in ("chain", "depfast"):
+            for fault in FAULTS:
+                results[(system, fault)] = _run(system, fault)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Chain replication vs DepFastRaft, one fail-slow node (s2):",
+        f"{'system':<10}{'fault':<15}{'tput (ops/s)':>14}{'normalized':>12}{'checker':>10}",
+    ]
+    for system in ("chain", "depfast"):
+        base = results[(system, "none")][0].throughput_ops_s
+        for fault in FAULTS:
+            report, tolerance = results[(system, fault)]
+            verdict = "PASS" if tolerance.tolerant else "FAIL"
+            lines.append(
+                f"{system:<10}{fault:<15}{report.throughput_ops_s:>14.0f}"
+                f"{report.throughput_ops_s / base:>12.2f}{verdict:>10}"
+            )
+    save_result("chain_vs_quorum", "\n".join(lines))
+
+    # The wait-structure verdicts.
+    assert not results[("chain", "none")][1].tolerant       # red path
+    assert results[("depfast", "none")][1].tolerant          # green quorums
+    # The performance consequences.
+    chain_base = results[("chain", "none")][0].throughput_ops_s
+    chain_slow = results[("chain", "cpu_slow")][0].throughput_ops_s
+    assert chain_slow < 0.5 * chain_base
+    raft_base = results[("depfast", "none")][0].throughput_ops_s
+    for fault in FAULTS[1:]:
+        raft_fault = results[("depfast", fault)][0].throughput_ops_s
+        assert abs(raft_fault - raft_base) / raft_base < 0.05

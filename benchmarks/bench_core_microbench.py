@@ -1,0 +1,79 @@
+"""Microbenchmarks of the DepFast core: kernel, events, coroutines.
+
+These are real (wall-clock) pytest-benchmark measurements of the library
+primitives themselves — useful for tracking regressions in the simulator
+substrate that every experiment above depends on.
+"""
+
+from repro.events.basic import ValueEvent
+from repro.events.compound import QuorumEvent
+from repro.runtime.runtime import Runtime
+from repro.sim.kernel import Kernel
+from repro.sim.resources import CpuResource
+
+
+def test_kernel_schedule_and_run(benchmark):
+    def run():
+        kernel = Kernel()
+        for i in range(1000):
+            kernel.schedule(float(i % 97), lambda: None)
+        kernel.run_until_idle()
+
+    benchmark(run)
+
+
+def test_event_trigger_fanout(benchmark):
+    def run():
+        event = ValueEvent()
+        hits = []
+        for _ in range(100):
+            event.subscribe(lambda _ev: hits.append(1))
+        event.set(1)
+        return len(hits)
+
+    assert benchmark(run) == 100
+
+
+def test_quorum_event_composition(benchmark):
+    def run():
+        quorum = QuorumEvent(quorum=51, n_total=100)
+        children = [ValueEvent() for _ in range(100)]
+        for child in children:
+            quorum.add(child)
+        for child in children[:51]:
+            child.set(1)
+        return quorum.ready()
+
+    assert benchmark(run)
+
+
+def test_coroutine_spawn_and_wait_cycle(benchmark):
+    def run():
+        kernel = Kernel()
+        runtime = Runtime(kernel, node="n", cpu=CpuResource(kernel))
+        done = []
+
+        def task():
+            for _ in range(10):
+                yield runtime.sleep(1.0)
+            done.append(True)
+
+        for _ in range(50):
+            runtime.spawn(task())
+        kernel.run_until_idle()
+        return len(done)
+
+    assert benchmark(run) == 50
+
+
+def test_cpu_resource_throughput(benchmark):
+    def run():
+        kernel = Kernel()
+        cpu = CpuResource(kernel, base_rate=4.0)
+        completed = []
+        for _ in range(1000):
+            cpu.submit(0.1, on_done=lambda: completed.append(1))
+        kernel.run_until_idle()
+        return len(completed)
+
+    assert benchmark(run) == 1000

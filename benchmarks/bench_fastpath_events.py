@@ -1,0 +1,73 @@
+"""§3.2: fast-path/slow-path rounds expressed via nested compound events.
+
+Measures decision latency of the fast path (unanimous accept) vs the slow
+fallback (conflicts) vs a fail-slow acceptor (tolerated by the fast quorum
+leaving one straggler out).
+"""
+
+from conftest import save_result
+
+from repro.cluster.cluster import Cluster
+from repro.raft.fastpath import FastPathAcceptor, FastPathCoordinator
+
+
+def _world(n_acceptors=5, seed=3):
+    cluster = Cluster(seed=seed)
+    coordinator_node = cluster.add_node("coord")
+    acceptors = {}
+    for i in range(n_acceptors):
+        node = cluster.add_node(f"a{i+1}")
+        acceptors[node.node_id] = FastPathAcceptor(node)
+        node.start()
+    coordinator_node.start()
+    coordinator = FastPathCoordinator(coordinator_node, sorted(acceptors))
+    return cluster, coordinator_node, coordinator, acceptors
+
+
+def _propose(cluster, node, coordinator, decree, value):
+    outcomes = []
+
+    def script():
+        outcome = yield from coordinator.propose(decree, value)
+        outcomes.append(outcome)
+
+    started = cluster.kernel.now
+    node.runtime.spawn(script())
+    cluster.run(until_ms=cluster.kernel.now + 10_000.0)
+    outcome = outcomes[0]
+    return outcome, outcome.decided_at_ms - started
+
+
+def test_fastpath_latency_profile(benchmark):
+    def run():
+        rows = []
+        # Clean fast path.
+        cluster, node, coordinator, acceptors = _world()
+        outcome, latency = _propose(cluster, node, coordinator, 1, "X")
+        rows.append(("unanimous (fast path)", outcome.path, latency))
+        # Conflicted: falls back to the slow round.
+        cluster, node, coordinator, acceptors = _world()
+        acceptors["a1"].preseed(1, "RIVAL")
+        acceptors["a2"].preseed(1, "RIVAL")
+        outcome, latency = _propose(cluster, node, coordinator, 1, "X")
+        rows.append(("2 conflicts (slow path)", outcome.path, latency))
+        # One fail-slow acceptor: fast quorum (4/5) proceeds without it.
+        cluster, node, coordinator, acceptors = _world()
+        cluster.node("a5").cpu.set_quota(0.0001)
+        outcome, latency = _propose(cluster, node, coordinator, 1, "X")
+        rows.append(("1 fail-slow acceptor", outcome.path, latency))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["Fast-path/slow-path decision latency (5 acceptors):"]
+    for label, path, latency in rows:
+        lines.append(f"  {label:<26} -> {path:<5} in {latency:8.2f} ms")
+    save_result("fastpath", "\n".join(lines))
+    by_label = {label: (path, latency) for label, path, latency in rows}
+    assert by_label["unanimous (fast path)"][0] == "fast"
+    assert by_label["2 conflicts (slow path)"][0] == "slow"
+    # The fail-slow acceptor is simply left out of the 4/5 fast quorum.
+    assert by_label["1 fail-slow acceptor"][0] == "fast"
+    assert by_label["1 fail-slow acceptor"][1] < 100.0
+    # The slow path costs an extra round.
+    assert by_label["2 conflicts (slow path)"][1] > by_label["unanimous (fast path)"][1]

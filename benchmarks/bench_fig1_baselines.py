@@ -1,0 +1,26 @@
+"""Figure 1: baseline RSMs (mongo/tidb/rethink-like) with a fail-slow follower.
+
+Regenerates all three panels: normalized throughput, average latency and
+P99 latency for 3 systems × 6 fault types (plus the no-fault baseline).
+
+Expected shape: double-digit throughput loss and latency inflation with
+multi-x P99 blowups somewhere in the grid, and the RethinkDB-like leader
+crashing under CPU slowness (paper §2.2 / Figure 1).
+"""
+
+from conftest import paper_profile, save_result
+
+from repro.bench.experiments import bench_params
+from repro.bench.figure1 import render_figure1, run_figure1, shape_checks
+
+
+def test_figure1_baselines_under_fail_slow_follower(benchmark):
+    params = bench_params()
+    results = benchmark.pedantic(run_figure1, args=(params,), rounds=1, iterations=1)
+    save_result("figure1", render_figure1(results))
+    checks = shape_checks(results)
+    if not paper_profile():
+        # Smoke profile: the short window cannot reproduce OOM timing.
+        checks.pop("rethink_leader_crashes_under_cpu_slowness", None)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"Figure 1 shape checks failed: {failed}"

@@ -1,0 +1,19 @@
+"""Figure 2: the slowness propagation graph of 3-shard DepFastRaft.
+
+Regenerates the figure's content: a node-granularity SPG over s1–s9 and
+clients c1–c3 where intra-shard waits are green quorum edges (2/3) and the
+only red single-wait edges run from clients to shard leaders.
+"""
+
+from conftest import save_result
+
+from repro.bench.figure2 import render_figure2, run_figure2, shape_checks
+
+
+def test_figure2_slowness_propagation_graph(benchmark):
+    result = benchmark.pedantic(run_figure2, rounds=1, iterations=1)
+    save_result("figure2", render_figure2(result))
+    checks = shape_checks(result)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"Figure 2 shape checks failed: {failed}"
+    assert result.wait_records > 1000  # thousands of aggregated waits

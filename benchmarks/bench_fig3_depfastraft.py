@@ -1,0 +1,21 @@
+"""Figure 3: DepFastRaft with a minority of fail-slow followers.
+
+Regenerates all three panels (absolute throughput, average latency, P99)
+for 3- and 5-node groups under every Table 1 fault, plus the paper's
+headline check: every metric stays within a 5% band of the no-fault run.
+"""
+
+from conftest import paper_profile, save_result
+
+from repro.bench.experiments import bench_params
+from repro.bench.figure3 import render_figure3, run_figure3, shape_checks
+
+
+def test_figure3_depfastraft_fail_slow_tolerance(benchmark):
+    params = bench_params()
+    results = benchmark.pedantic(run_figure3, args=(params,), rounds=1, iterations=1)
+    save_result("figure3", render_figure3(results))
+    band = 0.05 if paper_profile() else 0.15
+    checks = shape_checks(results, band=band)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"Figure 3 shape checks failed: {failed}"

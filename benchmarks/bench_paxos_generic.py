@@ -1,0 +1,39 @@
+"""§4's genericity claim: a second protocol on DepFast, same tolerance.
+
+"The design of DepFast is generic and is not specific to any distributed
+protocols." Multi-Paxos (Prepare/Accept/Commit — the §2.3 spaghetti
+example) runs on the identical runtime, framework and fault harness as
+DepFastRaft, and shows the same Figure 3 shape: every metric inside a
+tight band under every Table 1 fault on a follower/acceptor.
+"""
+
+from conftest import paper_profile, save_result
+
+from repro.bench.experiments import bench_params, run_fault_sweep
+from repro.bench.report import METRICS, format_figure_table, max_drift
+from repro.faults.catalog import fault_names
+
+
+def test_multipaxos_is_fail_slow_tolerant_too(benchmark):
+    params = bench_params()
+
+    def run():
+        return {"paxos 3 nodes": run_fault_sweep("paxos", fault_names(), params)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    panels = [
+        format_figure_table(results, metric, title=f"Multi-Paxos on DepFast: {metric}")
+        for metric in METRICS
+    ]
+    sweeps = results["paxos 3 nodes"]
+    drifts = {metric: max_drift(sweeps, metric) for metric in METRICS}
+    panels.append(
+        "drift vs no-fault: "
+        + ", ".join(f"{metric}={value*100:.1f}%" for metric, value in drifts.items())
+    )
+    save_result("paxos_generic", "\n\n".join(panels))
+    band = 0.05 if paper_profile() else 0.15
+    for metric, drift in drifts.items():
+        assert drift <= band, f"paxos {metric} drift {drift:.3f} > {band}"
+    assert sweeps["none"].throughput_ops_s > 2000.0
+    assert not any(report.crashed for report in sweeps.values())

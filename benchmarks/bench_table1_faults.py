@@ -1,0 +1,13 @@
+"""Table 1: fault catalog — verifies each injection's resource-level effect."""
+
+from conftest import save_result
+
+from repro.bench.table1 import render_table1, run_table1, shape_checks
+
+
+def test_table1_fault_catalog(benchmark):
+    effects = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    save_result("table1", render_table1(effects))
+    checks = shape_checks(effects)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"Table 1 checks failed: {failed}"

@@ -1,0 +1,94 @@
+"""§5 extension: cross-shard transactions under fail-slow minorities.
+
+Three DepFastRaft shards (s1–s9), 2PC transactions spanning shards from
+closed-loop coordinators. With one fail-slow follower in *every* shard,
+commit throughput and latency hold (each shard's prepare/commit records
+commit on its majority quorum); a fail-slow shard *leader*, by contrast,
+gates every transaction touching that shard — the same residual red edge
+as Figure 2.
+"""
+
+from conftest import save_result
+
+from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.sim.metrics import LatencyRecorder
+from repro.txn.store import deploy_sharded_store
+from repro.workload.stats import WorkloadReport
+
+
+def _run(fault_on: str, n_coordinators: int = 16, end_ms: float = 6000.0):
+    """fault_on: 'none' | 'followers' | 'leader'."""
+    cluster = Cluster(seed=31)
+    store = deploy_sharded_store(cluster, n_shards=3, replicas=3)
+    store.wait_for_leaders()
+    injector = FaultInjector(cluster)
+    if fault_on == "followers":
+        for shard in store.shard_map.shard_names():
+            injector.inject(store.shard_map.group_of(shard)[-1], "cpu_slow")
+    elif fault_on == "leader":
+        injector.inject(store.shard_map.group_of("shard0")[0], "cpu_slow")
+
+    client = cluster.add_client("cx")
+    client.start()
+    recorder = LatencyRecorder("txn")
+    rng = cluster.rng.stream("txn-keys")
+    aborted = [0]
+
+    def coordinator_loop(coordinator, worker: int):
+        count = 0
+        while True:
+            count += 1
+            # Two keys, usually on different shards.
+            writes = {
+                f"k{rng.randrange(10_000)}": f"w{worker}-{count}",
+                f"k{rng.randrange(10_000)}": f"w{worker}-{count}b",
+            }
+            started = coordinator.node.runtime.now
+            outcome = yield from coordinator.transact(writes)
+            if outcome.committed:
+                recorder.record(coordinator.node.runtime.now, outcome.latency_ms)
+            else:
+                aborted[0] += 1
+
+    for worker in range(n_coordinators):
+        coordinator = store.coordinator(client)
+        client.runtime.spawn(coordinator_loop(coordinator, worker))
+    cluster.run(until_ms=end_ms)
+    report = WorkloadReport.from_recorder(recorder, 2000.0, end_ms, errors=aborted[0])
+    return report
+
+
+def test_transactions_tolerate_fail_slow_shard_minorities(benchmark):
+    def run():
+        return {
+            condition: _run(condition)
+            for condition in ("none", "followers", "leader")
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "Cross-shard 2PC under fail-slow (cpu_slow) nodes:",
+        f"{'condition':<22}{'txn/s':>10}{'avg (ms)':>10}{'p99 (ms)':>10}{'aborts':>8}",
+    ]
+    for condition, report in results.items():
+        label = {
+            "none": "healthy",
+            "followers": "1 slow follower/shard",
+            "leader": "1 slow shard LEADER",
+        }[condition]
+        lines.append(
+            f"{label:<22}{report.throughput_ops_s:>10.0f}{report.avg_latency_ms:>10.2f}"
+            f"{report.p99_latency_ms:>10.2f}{report.errors:>8d}"
+        )
+    save_result("txn_failslow", "\n".join(lines))
+
+    healthy = results["none"]
+    followers = results["followers"]
+    leader = results["leader"]
+    assert healthy.throughput_ops_s > 500.0
+    # Slow minorities in every shard: within a tight band of healthy.
+    drift = abs(followers.throughput_ops_s - healthy.throughput_ops_s)
+    assert drift / healthy.throughput_ops_s < 0.08
+    # A slow shard leader gates transactions (the known residual case).
+    assert leader.throughput_ops_s < 0.7 * healthy.throughput_ops_s

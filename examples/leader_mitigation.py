@@ -1,0 +1,61 @@
+"""Fail-slow leader detection and re-election (§5 future work, implemented).
+
+A fail-slow *leader* is the case quorum waits cannot hide. This demo
+injects CPU slowness into the DepFastRaft leader mid-run; the trace-point
+detector on each follower notices a backed-up, non-committing leader,
+suspects it, and a normal election demotes it to a (well-tolerated)
+fail-slow follower. Throughput collapses, then recovers.
+
+Run:  python examples/leader_mitigation.py   (~1 minute)
+"""
+
+from repro import Cluster, FaultInjector, RaftConfig
+from repro.detector.leader_detector import attach_detectors
+from repro.raft.service import deploy_depfast_raft, find_leader, wait_for_leader
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+GROUP = ["s1", "s2", "s3"]
+
+
+def main() -> None:
+    cluster = Cluster(seed=19)
+    raft = deploy_depfast_raft(cluster, GROUP, config=RaftConfig(preferred_leader="s1"))
+    detectors = attach_detectors(raft)
+    wait_for_leader(cluster, raft)
+
+    workload = YcsbWorkload(cluster.rng.stream("ycsb"), record_count=100_000, value_size=1000)
+    driver = ClosedLoopDriver(cluster, GROUP, workload, n_clients=32)
+    driver.start()
+
+    def window(start, end, label):
+        report = driver.report(start, end)
+        leader = find_leader(raft)
+        print(
+            f"  t=[{start/1000:4.1f}s,{end/1000:4.1f}s] {label:<28} "
+            f"tput={report.throughput_ops_s:7.0f} ops/s  leader={leader.id if leader else '?'}"
+        )
+
+    cluster.run(until_ms=3000.0)
+    window(1000.0, 3000.0, "healthy")
+
+    print("\ninjecting cpu_slow into the LEADER (s1) ...")
+    FaultInjector(cluster).inject("s1", "cpu_slow")
+    cluster.run(until_ms=8000.0)
+    window(3000.0, 8000.0, "fail-slow leader")
+
+    cluster.run(until_ms=16_000.0)
+    window(10_000.0, 16_000.0, "after detection + re-election")
+
+    for detector in detectors:
+        if detector.suspected:
+            print(
+                f"\ndetector on {detector.raft.id} suspected {detector.suspected} "
+                f"at t={detector.suspected_at/1000:.1f}s"
+            )
+    new_leader = find_leader(raft)
+    print(f"final leader: {new_leader.id}; s1 is now a fail-slow follower — tolerated.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""DepFast reproduction: programming support for fail-slow fault tolerance.
+
+Reproduces Yoo, Wang, Sinha, Mu & Xu, *"Fail-slow fault tolerance needs
+programming support"* (HotOS '21) as a pure-Python library on a
+deterministic discrete-event simulation substrate.
+
+Quick tour of the public API::
+
+    from repro import (
+        Cluster,            # a simulated world: kernel, network, nodes
+        QuorumEvent,        # the paper's core abstraction
+        deploy_depfast_raft,  # stand up a DepFastRaft group
+        FaultInjector, TABLE1,  # the paper's fail-slow fault catalog
+        ClosedLoopDriver, YcsbWorkload,  # the measurement workload
+        build_spg, check_fail_slow_tolerance,  # runtime verification
+    )
+
+See ``examples/quickstart.py`` for a runnable walk-through, DESIGN.md for
+the system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.baselines import (
+    BASELINE_SYSTEMS,
+    BaselineConfig,
+    MongoLikeRsm,
+    RethinkLikeRsm,
+    TidbLikeRsm,
+    deploy_baseline,
+)
+from repro.cluster import Cluster, Node, NodeSpec
+from repro.detector import DetectorConfig, LeaderSlownessDetector
+from repro.events import (
+    AndEvent,
+    Event,
+    OrEvent,
+    QuorumEvent,
+    RpcEvent,
+    SharedIntEvent,
+    TimerEvent,
+    ValueEvent,
+)
+from repro.faults import TABLE1, BackgroundJitter, FaultInjector, FaultSpec, FaultType
+from repro.paxos import PaxosConfig, PaxosNode, deploy_paxos
+from repro.raft import RaftConfig, RaftNode, deploy_depfast_raft, find_leader
+from repro.raft.fastpath import FastPathAcceptor, FastPathCoordinator
+from repro.runtime import Coroutine, Runtime, Scheduler
+from repro.sim import Kernel
+from repro.trace import Tracer, build_spg, check_fail_slow_tolerance, render_spg
+from repro.workload import ClosedLoopDriver, KvServiceClient, WorkloadReport, YcsbWorkload
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "AndEvent",
+    "BASELINE_SYSTEMS",
+    "BackgroundJitter",
+    "BaselineConfig",
+    "ClosedLoopDriver",
+    "Cluster",
+    "Coroutine",
+    "DetectorConfig",
+    "Event",
+    "FastPathAcceptor",
+    "FastPathCoordinator",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultType",
+    "Kernel",
+    "KvServiceClient",
+    "LeaderSlownessDetector",
+    "MongoLikeRsm",
+    "Node",
+    "NodeSpec",
+    "OrEvent",
+    "PaxosConfig",
+    "PaxosNode",
+    "QuorumEvent",
+    "RaftConfig",
+    "RaftNode",
+    "RethinkLikeRsm",
+    "RpcEvent",
+    "Runtime",
+    "Scheduler",
+    "SharedIntEvent",
+    "TABLE1",
+    "TidbLikeRsm",
+    "TimerEvent",
+    "Tracer",
+    "ValueEvent",
+    "WorkloadReport",
+    "YcsbWorkload",
+    "build_spg",
+    "check_fail_slow_tolerance",
+    "deploy_baseline",
+    "deploy_depfast_raft",
+    "deploy_paxos",
+    "find_leader",
+    "render_spg",
+]

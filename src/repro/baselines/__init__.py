@@ -1,0 +1,45 @@
+"""Baseline RSM implementations with the §2.2 root-cause pathologies.
+
+The paper measured MongoDB, TiDB and RethinkDB; we cannot run those
+databases offline, so each baseline here is a complete, runnable
+fixed-leader RSM whose *implementation* deliberately contains the
+developer-confirmed root cause the paper attributes to that system:
+
+* :class:`MongoLikeRsm` — synchronous-wait behaviour: a periodic
+  flow-control checkpoint where the leader waits (bounded) on **all**
+  followers, so one fail-slow follower stalls the write path on every
+  checkpoint;
+* :class:`TidbLikeRsm` — a single-threaded raftstore loop: once a lagging
+  follower's acked index falls below the EntryCache floor, regenerating
+  its entries reads from disk **synchronously on the store thread**,
+  stalling every batch;
+* :class:`RethinkLikeRsm` — unbounded outgoing buffers: the leader pushes
+  amplified write traffic to every follower with no flow-control
+  awareness, so a slow follower drives the leader into swap thrash and
+  eventually OOM (the leader crash the paper observed under CPU slowness).
+
+All three share the request path, cost model and client contract with
+DepFastRaft, so Figure 1 vs Figure 3 comparisons isolate the replication-
+wait structure.
+"""
+
+from repro.baselines.base import BaselineConfig, BaselineRsm, deploy_baseline
+from repro.baselines.mongo_like import MongoLikeRsm
+from repro.baselines.rethink_like import RethinkLikeRsm
+from repro.baselines.tidb_like import TidbLikeRsm
+
+BASELINE_SYSTEMS = {
+    "mongo-like": MongoLikeRsm,
+    "tidb-like": TidbLikeRsm,
+    "rethink-like": RethinkLikeRsm,
+}
+
+__all__ = [
+    "BASELINE_SYSTEMS",
+    "BaselineConfig",
+    "BaselineRsm",
+    "MongoLikeRsm",
+    "RethinkLikeRsm",
+    "TidbLikeRsm",
+    "deploy_baseline",
+]

@@ -1,0 +1,26 @@
+"""Experiment harness: the code that regenerates every table and figure.
+
+Each module corresponds to one artifact of the paper's evaluation:
+
+* :mod:`repro.bench.table1` — verifies the six fault injections hit the
+  resources Table 1 says they hit, with measured magnitudes;
+* :mod:`repro.bench.figure1` — the three baseline RSMs, 3 nodes, one
+  fail-slow follower: normalized throughput / avg latency / P99;
+* :mod:`repro.bench.figure2` — the slowness propagation graph of a
+  3-shard DepFastRaft deployment;
+* :mod:`repro.bench.figure3` — DepFastRaft, 3 and 5 nodes, minority of
+  fail-slow followers: absolute metrics and the 5%-drift check.
+
+The ``benchmarks/`` directory wraps these in pytest-benchmark harnesses;
+:mod:`repro.bench.report` renders the same results as text tables.
+"""
+
+from repro.bench.experiments import ExperimentParams, run_rsm_experiment
+from repro.bench.report import format_figure_table, format_normalized_table
+
+__all__ = [
+    "ExperimentParams",
+    "format_figure_table",
+    "format_normalized_table",
+    "run_rsm_experiment",
+]

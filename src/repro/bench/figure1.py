@@ -1,0 +1,75 @@
+"""Figure 1: existing RSM implementations with one fail-slow follower.
+
+Three-node deployments of the MongoDB-like, TiDB-like and RethinkDB-like
+baselines, each run under no fault and under every Table 1 fault on one
+follower. Results are normalized to each system's own no-fault run.
+
+Expected shape (paper §2.2): up to 17–41% throughput loss, 21–50% average
+latency inflation, 1.6–3.46× P99 inflation, and the RethinkDB leader
+crashing under CPU slowness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.baselines import BASELINE_SYSTEMS
+from repro.bench.experiments import ExperimentParams, run_fault_sweep
+from repro.bench.report import METRICS, METRIC_LABELS, format_normalized_table
+from repro.faults.catalog import fault_names
+from repro.workload.stats import WorkloadReport
+
+Figure1Results = Dict[str, Dict[str, WorkloadReport]]
+
+
+def run_figure1(
+    params: Optional[ExperimentParams] = None,
+    systems=None,
+) -> Figure1Results:
+    """All baseline systems × all fault conditions."""
+    params = params or ExperimentParams()
+    systems = systems or sorted(BASELINE_SYSTEMS)
+    return {
+        system: run_fault_sweep(system, fault_names(), params)
+        for system in systems
+    }
+
+
+def render_figure1(results: Figure1Results) -> str:
+    panels = []
+    for panel, metric in zip("abc", METRICS):
+        panels.append(
+            format_normalized_table(
+                results,
+                metric,
+                title=f"Figure 1({panel}): {METRIC_LABELS[metric]} (normalized to no-fault)",
+            )
+        )
+    return "\n\n".join(panels)
+
+
+def shape_checks(results: Figure1Results) -> Dict[str, bool]:
+    """The qualitative claims of §2.2, evaluated on these results."""
+    worst_tput = min(
+        report.throughput_ops_s / sweeps["none"].throughput_ops_s
+        for sweeps in results.values()
+        for fault, report in sweeps.items()
+        if fault != "none" and sweeps["none"].throughput_ops_s > 0
+    )
+    worst_p99 = max(
+        report.p99_latency_ms / sweeps["none"].p99_latency_ms
+        for sweeps in results.values()
+        for fault, report in sweeps.items()
+        if fault != "none" and sweeps["none"].p99_latency_ms > 0
+    )
+    rethink = results.get("rethink-like", {})
+    return {
+        "significant_throughput_loss": worst_tput < 0.83,  # >= 17% drop somewhere
+        "significant_p99_inflation": worst_p99 > 1.6,
+        "rethink_leader_crashes_under_cpu_slowness": bool(
+            rethink.get("cpu_slow") and rethink["cpu_slow"].crashed
+        ),
+        "no_baseline_crash_without_fault": all(
+            not sweeps["none"].crashed for sweeps in results.values()
+        ),
+    }

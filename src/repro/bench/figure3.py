@@ -1,0 +1,67 @@
+"""Figure 3: DepFastRaft with a minority of fail-slow followers.
+
+Three- and five-node DepFastRaft groups under every Table 1 fault on one
+(3 nodes) or two (5 nodes) followers, reported in absolute units like the
+paper's bars: requests/s and milliseconds. The headline claim is the 5%
+band: no metric drifts more than 5% from the no-fault run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.bench.experiments import ExperimentParams, run_fault_sweep
+from repro.bench.report import METRICS, METRIC_LABELS, format_figure_table, max_drift
+from repro.faults.catalog import fault_names
+from repro.workload.stats import WorkloadReport
+
+Figure3Results = Dict[str, Dict[str, WorkloadReport]]
+
+
+def run_figure3(
+    params: Optional[ExperimentParams] = None,
+    group_sizes=(3, 5),
+) -> Figure3Results:
+    params = params or ExperimentParams()
+    results: Figure3Results = {}
+    for size in group_sizes:
+        sized = replace(params, group_size=size)
+        results[f"{size} nodes"] = run_fault_sweep("depfast", fault_names(), sized)
+    return results
+
+
+def render_figure3(results: Figure3Results) -> str:
+    panels = []
+    units = {"throughput": "requests/s", "avg_latency": "ms", "p99_latency": "ms"}
+    for panel, metric in zip("abc", METRICS):
+        panels.append(
+            format_figure_table(
+                results,
+                metric,
+                title=f"Figure 3({panel}): DepFastRaft {METRIC_LABELS[metric]}",
+                unit=units[metric],
+            )
+        )
+    drift_lines = ["Drift vs no-fault (paper claim: within 5%):"]
+    for setup, sweeps in results.items():
+        drifts = ", ".join(
+            f"{METRIC_LABELS[m]}={max_drift(sweeps, m)*100:.1f}%" for m in METRICS
+        )
+        drift_lines.append(f"  {setup}: {drifts}")
+    return "\n\n".join(panels + ["\n".join(drift_lines)])
+
+
+def shape_checks(results: Figure3Results, band: float = 0.05) -> Dict[str, bool]:
+    checks: Dict[str, bool] = {}
+    for setup, sweeps in results.items():
+        for metric in METRICS:
+            checks[f"{setup}:{metric}:within_band"] = max_drift(sweeps, metric) <= band
+        checks[f"{setup}:no_crashes"] = all(
+            not report.crashed for report in sweeps.values()
+        )
+        # Paper: "base performance ... at about 5K requests per second".
+        checks[f"{setup}:base_throughput_kilo_range"] = (
+            2000.0 <= sweeps["none"].throughput_ops_s <= 20_000.0
+        )
+    return checks

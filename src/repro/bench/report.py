@@ -1,0 +1,96 @@
+"""Text rendering of experiment results, one table per figure panel."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.faults.catalog import fault_names
+from repro.workload.stats import WorkloadReport
+
+METRICS = ("throughput", "avg_latency", "p99_latency")
+METRIC_LABELS = {
+    "throughput": "Throughput",
+    "avg_latency": "Average Latency",
+    "p99_latency": "P99 Latency",
+}
+
+
+def _metric_value(report: WorkloadReport, metric: str) -> float:
+    if metric == "throughput":
+        return report.throughput_ops_s
+    if metric == "avg_latency":
+        return report.avg_latency_ms
+    if metric == "p99_latency":
+        return report.p99_latency_ms
+    raise ValueError(f"unknown metric {metric!r}")
+
+
+def format_normalized_table(
+    results: Dict[str, Dict[str, WorkloadReport]],
+    metric: str,
+    title: str = "",
+) -> str:
+    """Figure 1 style: rows = systems, columns = faults, cells normalized.
+
+    ``results[system][fault]`` must include the "none" baseline column.
+    Crashed runs are flagged with ``*``.
+    """
+    faults = fault_names(include_baseline=True)
+    header = f"{'system':<14}" + "".join(f"{fault:>19}" for fault in faults)
+    lines = [title, header] if title else [header]
+    for system, sweeps in results.items():
+        baseline = sweeps["none"]
+        row = [f"{system:<14}"]
+        for fault in faults:
+            report = sweeps.get(fault)
+            if report is None:
+                row.append(f"{'-':>19}")
+                continue
+            value = _metric_value(report, metric)
+            base = _metric_value(baseline, metric)
+            normalized = value / base if base > 0 else 0.0
+            crash = "*" if report.crashed else ""
+            row.append(f"{normalized:>17.2f}{crash:<2}")
+        lines.append("".join(row))
+    if any(sweep.get(f) and sweep[f].crashed for sweep in results.values() for f in faults):
+        lines.append("  (* = a node crashed during the run)")
+    return "\n".join(lines)
+
+
+def format_figure_table(
+    results: Dict[str, Dict[str, WorkloadReport]],
+    metric: str,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Figure 3 style: absolute values, rows = setups, columns = faults."""
+    faults = fault_names(include_baseline=True)
+    header = f"{'setup':<14}" + "".join(f"{fault:>19}" for fault in faults)
+    lines = [title, header] if title else [header]
+    for setup, sweeps in results.items():
+        row = [f"{setup:<14}"]
+        for fault in faults:
+            report = sweeps.get(fault)
+            if report is None:
+                row.append(f"{'-':>19}")
+                continue
+            value = _metric_value(report, metric)
+            crash = "*" if report.crashed else ""
+            row.append(f"{value:>17.1f}{crash:<2}")
+        lines.append("".join(row))
+    if unit:
+        lines.append(f"  (values in {unit})")
+    return "\n".join(lines)
+
+
+def max_drift(sweeps: Dict[str, WorkloadReport], metric: str) -> float:
+    """Largest relative deviation from the no-fault run across faults."""
+    baseline = _metric_value(sweeps["none"], metric)
+    if baseline <= 0:
+        return 0.0
+    deviations = [
+        abs(_metric_value(report, metric) - baseline) / baseline
+        for fault, report in sweeps.items()
+        if fault != "none"
+    ]
+    return max(deviations, default=0.0)

@@ -1,0 +1,121 @@
+"""Table 1: the fault catalog, with measured resource-level effects.
+
+For each fault, deploy one node, measure a probe operation's duration on
+the targeted resource healthy vs faulted, and report the slowdown. This
+verifies the injections implement what Table 1 describes (5% CPU quota →
+~20× CPU slowdown, 16× contender share → ~17×, +400 ms NIC delay, …).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cluster.cluster import Cluster
+from repro.faults.catalog import TABLE1, fault_names
+from repro.faults.injector import FaultInjector
+
+
+@dataclass
+class FaultEffect:
+    fault: str
+    description: str
+    resource: str
+    healthy_ms: float
+    faulted_ms: float
+
+    @property
+    def slowdown(self) -> float:
+        if self.healthy_ms <= 0:
+            return 0.0
+        return self.faulted_ms / self.healthy_ms
+
+
+def _cpu_probe(cluster: Cluster, node_id: str) -> float:
+    """Virtual ms to complete 1 CPU-ms of work on an idle CPU."""
+    node = cluster.node(node_id)
+    start = cluster.kernel.now
+    done = []
+    node.cpu.submit(1.0, on_done=lambda: done.append(cluster.kernel.now))
+    cluster.kernel.run_until_idle()
+    return done[0] - start
+
+
+def _disk_probe(cluster: Cluster, node_id: str, n_bytes: int = 1_000_000) -> float:
+    node = cluster.node(node_id)
+    start = cluster.kernel.now
+    done = []
+    node.disk.submit(float(n_bytes), on_done=lambda: done.append(cluster.kernel.now))
+    cluster.kernel.run_until_idle()
+    return done[0] - start
+
+
+def _nic_probe(cluster: Cluster, node_id: str) -> float:
+    return cluster.node(node_id).nic.delay_ms()
+
+
+def _memory_probe(cluster: Cluster, node_id: str) -> float:
+    """CPU probe under the node's current memory pressure (swap thrash)."""
+    return _cpu_probe(cluster, node_id)
+
+
+_PROBES = {
+    "cpu_slow": ("cpu", _cpu_probe),
+    "cpu_contention": ("cpu", _cpu_probe),
+    "disk_slow": ("disk", _disk_probe),
+    "disk_contention": ("disk", _disk_probe),
+    "memory_contention": ("cpu (swap thrash)", _memory_probe),
+    "network_slow": ("nic", _nic_probe),
+}
+
+
+def run_table1() -> List[FaultEffect]:
+    effects: List[FaultEffect] = []
+    for fault in fault_names():
+        resource, probe = _PROBES[fault]
+        cluster = Cluster(seed=1)
+        cluster.add_node("n1")
+        injector = FaultInjector(cluster)
+        healthy = probe(cluster, "n1")
+        injector.inject("n1", fault)
+        faulted = probe(cluster, "n1")
+        injector.clear("n1")
+        effects.append(
+            FaultEffect(
+                fault=fault,
+                description=TABLE1[fault].description,
+                resource=resource,
+                healthy_ms=healthy,
+                faulted_ms=faulted,
+            )
+        )
+    return effects
+
+
+def render_table1(effects: List[FaultEffect]) -> str:
+    lines = [
+        "Table 1: simulated fail-slow faults and their measured effects",
+        f"{'fault':<20}{'resource':<20}{'healthy':>12}{'faulted':>12}{'slowdown':>10}  description",
+    ]
+    for effect in effects:
+        lines.append(
+            f"{effect.fault:<20}{effect.resource:<20}"
+            f"{effect.healthy_ms:>10.3f}ms{effect.faulted_ms:>10.3f}ms"
+            f"{effect.slowdown:>9.1f}x  {effect.description}"
+        )
+    return "\n".join(lines)
+
+
+def shape_checks(effects: List[FaultEffect]) -> Dict[str, bool]:
+    by_name = {effect.fault: effect for effect in effects}
+    return {
+        "cpu_slow_is_20x": abs(by_name["cpu_slow"].slowdown - 20.0) < 0.5,
+        "cpu_contention_is_17x": abs(by_name["cpu_contention"].slowdown - 17.0) < 0.5,
+        "disk_slow_throttles": by_name["disk_slow"].slowdown > 5.0,
+        "disk_contention_throttles": by_name["disk_contention"].slowdown > 2.0,
+        "memory_contention_thrashes": by_name["memory_contention"].slowdown > 1.5,
+        "network_slow_adds_400ms": (
+            by_name["network_slow"].faulted_ms - by_name["network_slow"].healthy_ms
+        )
+        == 400.0,
+    }

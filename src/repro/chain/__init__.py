@@ -1,0 +1,18 @@
+"""Chain replication — the topology that propagates fail-slow by design.
+
+§2.1: "We turned off chained replication which by design could propagate
+fail-slow faults", and §3.3 proposes using SPGs to "reason about design
+tradeoffs between fail-slow fault tolerance and other properties (e.g.,
+load balancing in chained replications)".
+
+This package makes that tradeoff measurable: a van Renesse/Schneider-style
+chain (writes enter at the head, flow through every node, ack at the tail)
+built on the same DepFast runtime. Every hop is a 1/1 wait — the SPG is a
+red path and the tolerance checker fails it — so *any* single fail-slow
+node throttles every write, in contrast to DepFastRaft's quorum green
+edges (``benchmarks/bench_chain_vs_quorum.py``).
+"""
+
+from repro.chain.chain import ChainNode, deploy_chain
+
+__all__ = ["ChainNode", "deploy_chain"]

@@ -1,0 +1,108 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Usage::
+
+    python -m repro table1
+    python -m repro figure1 [--smoke]
+    python -m repro figure2
+    python -m repro figure3 [--smoke]
+    python -m repro experiment --system depfast --fault cpu_slow
+
+``--smoke`` runs a shortened profile (shapes, not magnitudes); the default
+is the full paper profile used by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import ExperimentParams, SYSTEMS, run_rsm_experiment
+from repro.faults.catalog import fault_names
+
+
+def _params(smoke: bool) -> ExperimentParams:
+    params = ExperimentParams()
+    return params.scaled_for_smoke() if smoke else params
+
+
+def _cmd_table1(_args) -> int:
+    from repro.bench.table1 import render_table1, run_table1
+
+    print(render_table1(run_table1()))
+    return 0
+
+
+def _cmd_figure1(args) -> int:
+    from repro.bench.figure1 import render_figure1, run_figure1
+
+    print(render_figure1(run_figure1(_params(args.smoke))))
+    return 0
+
+
+def _cmd_figure2(_args) -> int:
+    from repro.bench.figure2 import render_figure2, run_figure2
+
+    print(render_figure2(run_figure2()))
+    return 0
+
+
+def _cmd_figure3(args) -> int:
+    from repro.bench.figure3 import render_figure3, run_figure3
+
+    print(render_figure3(run_figure3(_params(args.smoke))))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    report = run_rsm_experiment(args.system, args.fault, _params(args.smoke))
+    crash = f"  CRASHED: {', '.join(report.crashed_nodes)}" if report.crashed else ""
+    print(
+        f"{args.system} under {args.fault}: "
+        f"{report.throughput_ops_s:.0f} ops/s, "
+        f"avg {report.avg_latency_ms:.2f} ms, "
+        f"p99 {report.p99_latency_ms:.2f} ms, "
+        f"{report.errors} errors{crash}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DepFast reproduction: regenerate the paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table 1: fault catalog with measured effects").set_defaults(
+        func=_cmd_table1
+    )
+
+    fig1 = sub.add_parser("figure1", help="Figure 1: baseline RSMs under fail-slow followers")
+    fig1.add_argument("--smoke", action="store_true", help="short shape-only profile")
+    fig1.set_defaults(func=_cmd_figure1)
+
+    sub.add_parser("figure2", help="Figure 2: slowness propagation graph").set_defaults(
+        func=_cmd_figure2
+    )
+
+    fig3 = sub.add_parser("figure3", help="Figure 3: DepFastRaft fail-slow tolerance")
+    fig3.add_argument("--smoke", action="store_true", help="short shape-only profile")
+    fig3.set_defaults(func=_cmd_figure3)
+
+    exp = sub.add_parser("experiment", help="one (system, fault) cell")
+    exp.add_argument("--system", choices=SYSTEMS, required=True)
+    exp.add_argument("--fault", choices=fault_names(include_baseline=True), default="none")
+    exp.add_argument("--smoke", action="store_true")
+    exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

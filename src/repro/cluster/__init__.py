@@ -1,0 +1,12 @@
+"""Simulated cluster deployment: node specs, nodes, clusters.
+
+A :class:`Cluster` is one experiment's world: a kernel, a network, a
+shared tracer and a set of :class:`Node` objects, each wiring together the
+resources a ``Standard_D4s_v3``-class VM provides (the paper's testbed
+instance type) with a DepFast runtime and an RPC endpoint.
+"""
+
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Cluster", "Node", "NodeSpec"]

@@ -1,0 +1,85 @@
+"""Cluster assembly: kernel + network + tracer + nodes + clients."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import Node, NodeSpec
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RngRegistry
+from repro.trace.tracepoints import Tracer
+
+# Clients are lightweight processes: tiny footprint, no disk to speak of,
+# effectively never the bottleneck — the paper's YCSB driver machines.
+CLIENT_SPEC = NodeSpec(
+    cpu_rate=16.0,
+    memory_bytes=4 * 1024**3,
+    base_memory_fraction=0.0,
+    disk_bandwidth_mbps=100.0,
+    nic_delay_ms=0.05,
+    send_buffer_limit=None,
+    oom_policy="degrade",
+    rpc_parse_cost_ms=0.001,
+)
+
+
+class Cluster:
+    """One experiment's world: all simulated machines plus shared services."""
+
+    def __init__(self, seed: int = 0, default_link: Optional[Link] = None):
+        self.kernel = Kernel()
+        self.rng = RngRegistry(seed=seed)
+        self.tracer = Tracer(self.kernel)
+        if default_link is None:
+            # Intra-region cloud network with mild jitter, so latency
+            # distributions have a realistic (non-degenerate) tail.
+            default_link = Link(
+                latency_ms=0.25,
+                bandwidth_mbps=125.0,
+                jitter_ms=0.15,
+                rng=self.rng.stream("link-jitter"),
+            )
+        self.network = Network(self.kernel, default_link=default_link)
+        self.nodes: Dict[str, Node] = {}
+        self.clients: Dict[str, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, spec: Optional[NodeSpec] = None) -> Node:
+        if node_id in self.nodes or node_id in self.clients:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        node = Node(node_id, self.kernel, self.network, spec=spec, tracer=self.tracer)
+        self.nodes[node_id] = node
+        return node
+
+    def add_client(self, client_id: str) -> Node:
+        if client_id in self.nodes or client_id in self.clients:
+            raise ValueError(f"duplicate node id {client_id!r}")
+        client = Node(
+            client_id, self.kernel, self.network, spec=CLIENT_SPEC, tracer=self.tracer
+        )
+        self.clients[client_id] = client
+        return client
+
+    def node(self, node_id: str) -> Node:
+        found = self.nodes.get(node_id) or self.clients.get(node_id)
+        if found is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        return found
+
+    def server_ids(self) -> List[str]:
+        return sorted(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until_ms: float) -> None:
+        self.kernel.run(until_ms)
+
+    def crashed_nodes(self) -> List[str]:
+        return sorted(
+            node_id for node_id, node in self.nodes.items() if node.crashed
+        )

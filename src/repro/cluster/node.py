@@ -1,0 +1,157 @@
+"""One simulated server: resources + runtime + RPC endpoint.
+
+The default :class:`NodeSpec` approximates the paper's Azure
+``Standard_D4s_v3`` instances (4 vCPUs, 16 GB RAM, premium-SSD class
+disk, intra-region network). The spec also fixes two policies that the
+baselines and DepFastRaft differ on:
+
+* ``send_buffer_limit`` — None reproduces RethinkDB's unbounded outgoing
+  buffers; a byte bound is what a fail-slow-aware framework uses;
+* ``oom_policy`` — "crash" kills the process when it exceeds its memory
+  limit (how the RethinkDB leader died in §2.2), "degrade" only thrashes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.network import Network
+from repro.net.rpc import RpcEndpoint
+from repro.runtime.runtime import Runtime
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.resources import (
+    CpuResource,
+    DiskResource,
+    MemoryResource,
+    NicResource,
+)
+from repro.storage.wal import WriteAheadLog
+
+
+@dataclass
+class NodeSpec:
+    """Hardware + policy description of one node."""
+
+    cpu_rate: float = 4.0                 # CPU-ms of work per virtual ms (4 vCPUs)
+    memory_bytes: int = 16 * 1024**3      # 16 GB
+    base_memory_fraction: float = 0.5     # resident footprint of the DB process
+    disk_bandwidth_mbps: float = 200.0    # premium-SSD class
+    disk_latency_ms: float = 0.1
+    nic_delay_ms: float = 0.05
+    send_buffer_limit: Optional[int] = None   # None = unbounded buffers
+    oom_policy: str = "crash"             # "crash" | "degrade"
+    rpc_parse_cost_ms: float = 0.01
+    rpc_parse_cost_per_kb_ms: float = 0.02    # deserialization per KB
+    memory_swap_threshold: float = 0.85       # pressure where thrash begins
+    memory_max_swap_penalty: float = 8.0      # CPU multiplier at 100% pressure
+
+    def __post_init__(self) -> None:
+        if self.oom_policy not in ("crash", "degrade"):
+            raise ValueError(f"unknown oom policy {self.oom_policy!r}")
+        if not 0 <= self.base_memory_fraction < 1:
+            raise ValueError("base memory fraction must be in [0, 1)")
+
+
+class Node:
+    """A deployed server process with its VM's resources."""
+
+    def __init__(
+        self,
+        node_id: str,
+        kernel: Kernel,
+        network: Network,
+        spec: Optional[NodeSpec] = None,
+        tracer=None,
+    ):
+        self.node_id = node_id
+        self.kernel = kernel
+        self.network = network
+        self.spec = spec or NodeSpec()
+        self.metrics = MetricsRegistry(node_id)
+
+        self.cpu = CpuResource(kernel, base_rate=self.spec.cpu_rate, name=f"{node_id}.cpu")
+        self.disk = DiskResource(
+            kernel,
+            bandwidth_mbps=self.spec.disk_bandwidth_mbps,
+            op_latency_ms=self.spec.disk_latency_ms,
+            name=f"{node_id}.disk",
+        )
+        self.memory = MemoryResource(
+            capacity_bytes=self.spec.memory_bytes,
+            swap_threshold=self.spec.memory_swap_threshold,
+            max_swap_penalty=self.spec.memory_max_swap_penalty,
+        )
+        self.nic = NicResource(base_delay_ms=self.spec.nic_delay_ms)
+
+        self.runtime = Runtime(kernel, node=node_id, cpu=self.cpu, disk=self.disk, tracer=tracer)
+        self.endpoint = RpcEndpoint(
+            node_id,
+            network,
+            self.runtime,
+            parse_cost_ms=self.spec.rpc_parse_cost_ms,
+            parse_cost_per_kb_ms=self.spec.rpc_parse_cost_per_kb_ms,
+        )
+        self.wal = WriteAheadLog(self.runtime.io, name=f"{node_id}.wal")
+
+        network.attach(
+            node_id,
+            self.endpoint.inbox,
+            nic=self.nic,
+            memory=self.memory,
+            buffer_limit=self.spec.send_buffer_limit,
+        )
+
+        self.crashed = False
+        self.crashed_at: Optional[float] = None
+        self.crash_reason: Optional[str] = None
+
+        # Resident footprint of the process before any dynamic buffers.
+        base = int(self.spec.memory_bytes * self.spec.base_memory_fraction)
+        if base:
+            self.memory.allocate(base, owner="base-footprint")
+        self.memory.on_oom = self._on_oom
+        self.memory.on_pressure_change = self._on_pressure_change
+        self._applied_penalty = 1.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin dispatching RPCs (call after handlers are registered)."""
+        self.endpoint.start()
+
+    def crash(self, reason: str = "killed") -> None:
+        """Fail-stop this node: coroutines die, traffic drops."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashed_at = self.kernel.now
+        self.crash_reason = reason
+        self.metrics.counter("crashes").inc()
+        self.runtime.crash()
+        self.network.crash(self.node_id)
+
+    # ------------------------------------------------------------------
+    # Memory wiring
+    # ------------------------------------------------------------------
+    def _on_oom(self) -> None:
+        if self.spec.oom_policy == "crash":
+            # The allocation that crossed the limit may be running inside a
+            # coroutine of this very node; defer the kill to the next
+            # kernel callback so the current frame can unwind.
+            reason = f"OOM: {self.memory.used} > {self.memory.limit_bytes} bytes"
+            self.kernel.call_soon(self.crash, reason)
+        # "degrade": swap penalty (below) is the only consequence.
+
+    def _on_pressure_change(self) -> None:
+        penalty = self.memory.swap_penalty()
+        # Avoid re-timing the CPU queue on every allocation.
+        if abs(penalty - self._applied_penalty) > 0.05:
+            self._applied_penalty = penalty
+            self.cpu.set_penalty(penalty)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "up"
+        return f"<Node {self.node_id} {state}>"

@@ -1,0 +1,34 @@
+"""Fail-slow detection and mitigation — the paper's §5 future work.
+
+"We plan to implement failure detectors based on those trace points.
+Lastly, we will develop mitigation procedures specific to the detected
+failure modes. For instance, in DepFastRaft, if the leader is detected to
+fail-slow, a leader re-election can be triggered to turn the fail-slow
+leader into a fail-slow follower, which is well tolerated by DepFastRaft."
+
+:class:`LeaderSlownessDetector` runs on each follower and combines two
+trace-point signals: the leader self-reports its pending-queue depth in
+heartbeats, and the follower observes its own commit-index progress. A
+leader that is backed up but not committing is fail-slow; the detector
+then *suspects* it — suspected leaders no longer reset the follower's
+election timer, so an ordinary Raft election replaces them, demoting the
+fail-slow node to a (well-tolerated) follower.
+"""
+
+from repro.detector.leader_detector import (
+    DetectorConfig,
+    LeaderSlownessDetector,
+    attach_detectors,
+)
+from repro.detector.peer_monitor import (
+    PeerSlownessReport,
+    analyze_peer_slowness,
+)
+
+__all__ = [
+    "DetectorConfig",
+    "LeaderSlownessDetector",
+    "PeerSlownessReport",
+    "analyze_peer_slowness",
+    "attach_detectors",
+]

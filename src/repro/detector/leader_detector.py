@@ -1,0 +1,95 @@
+"""Follower-side detector for fail-slow leaders."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.raft.node import RaftNode
+from repro.raft.types import Role
+
+
+@dataclass
+class DetectorConfig:
+    check_interval_ms: float = 500.0
+    # Leader is "backed up" when it self-reports at least this many
+    # pending client ops across consecutive checks.
+    pending_threshold: int = 8
+    # ...while the follower's commit index advanced at less than this
+    # fraction of its best observed rate.
+    commit_rate_fraction: float = 0.3
+    # Consecutive suspicious checks before declaring the leader fail-slow.
+    strikes_to_suspect: int = 2
+
+
+class LeaderSlownessDetector:
+    """Attach one per follower; call :meth:`start` after the node starts.
+
+    A healthy-but-busy leader reports pending load *and* commits fast, so
+    it never accumulates strikes. A fail-slow leader reports a standing
+    queue while commits crawl — after ``strikes_to_suspect`` consecutive
+    such windows the follower suspects it and stops honoring its
+    heartbeats, letting a normal election demote it.
+    """
+
+    def __init__(self, raft: RaftNode, config: Optional[DetectorConfig] = None):
+        self.raft = raft
+        self.config = config or DetectorConfig()
+        self.suspected: Optional[str] = None
+        self.suspected_at: Optional[float] = None
+        self.checks = 0
+        self._strikes = 0
+        self._last_commit_index = 0
+        self._best_commit_rate = 0.0
+        self._started = False
+
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("detector already started")
+        self._started = True
+        self.raft.rt.spawn(self._monitor_loop(), name=f"{self.raft.id}:detector")
+
+    def _monitor_loop(self) -> Generator:
+        cfg = self.config
+        raft = self.raft
+        self._last_commit_index = raft.commit_index
+        while not raft.rt.crashed:
+            yield raft.rt.sleep(cfg.check_interval_ms)
+            self.checks += 1
+            if raft.role == Role.LEADER or raft.leader_hint is None:
+                self._strikes = 0
+                continue
+            delta = raft.commit_index - self._last_commit_index
+            self._last_commit_index = raft.commit_index
+            rate = delta / cfg.check_interval_ms
+            self._best_commit_rate = max(self._best_commit_rate, rate)
+            leader_backed_up = raft.last_leader_pending >= cfg.pending_threshold
+            commits_crawling = (
+                self._best_commit_rate > 0
+                and rate < cfg.commit_rate_fraction * self._best_commit_rate
+            )
+            if leader_backed_up and commits_crawling:
+                self._strikes += 1
+            else:
+                self._strikes = 0
+            if self._strikes >= cfg.strikes_to_suspect and self.suspected is None:
+                self._suspect(raft.leader_hint)
+
+    def _suspect(self, leader: str) -> None:
+        self.suspected = leader
+        self.suspected_at = self.raft.rt.now
+        # Stop honoring this leader's heartbeats: the election timer will
+        # fire and a normal Raft election replaces it.
+        self.raft.suspected_leader = leader
+
+
+def attach_detectors(
+    raft_nodes, config: Optional[DetectorConfig] = None
+) -> List[LeaderSlownessDetector]:
+    """Create and start one detector per group member."""
+    detectors = []
+    for raft in raft_nodes.values():
+        detector = LeaderSlownessDetector(raft, config=config)
+        detector.start()
+        detectors.append(detector)
+    return detectors

@@ -1,0 +1,105 @@
+"""Trace-point peer-slowness detection (§5, generalized).
+
+"We realize that the events in principle provide trace points needed by
+existing monitoring techniques and the traces can be used for performance
+analysis. Therefore, we plan to implement failure detectors based on
+those trace points."
+
+:func:`analyze_peer_slowness` consumes the tracer's per-RPC latency trace
+points — which cover *every* reply, including those of quorum stragglers
+nobody waited on, so a tolerated fail-slow follower is still visible —
+and flags peers whose median latency stands out against the healthiest
+peer's by more than ``factor``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.tracepoints import Tracer
+
+
+class PeerLatencyProfile:
+    """Latency statistics for RPCs from one node to one peer."""
+
+    __slots__ = ("node", "peer", "count", "median_ms", "p95_ms")
+
+    def __init__(self, node: str, peer: str, samples: List[float]):
+        self.node = node
+        self.peer = peer
+        ordered = sorted(samples)
+        self.count = len(ordered)
+        self.median_ms = ordered[len(ordered) // 2]
+        self.p95_ms = ordered[max(0, math.ceil(0.95 * len(ordered)) - 1)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PeerLatency {self.node}->{self.peer} n={self.count} "
+            f"median={self.median_ms:.2f}ms p95={self.p95_ms:.2f}ms>"
+        )
+
+
+class PeerSlownessReport:
+    def __init__(self, profiles: List[PeerLatencyProfile], suspects: List[str]):
+        self.profiles = profiles
+        self.suspects = suspects
+
+    def summary(self) -> str:
+        lines = [
+            f"peer slowness: {len(self.suspects)} suspect(s): "
+            + (", ".join(self.suspects) if self.suspects else "none")
+        ]
+        for profile in sorted(self.profiles, key=lambda p: -p.median_ms):
+            flag = "  <-- FAIL-SLOW" if profile.peer in self.suspects else ""
+            lines.append(
+                f"  {profile.node} -> {profile.peer}: median "
+                f"{profile.median_ms:8.2f} ms, p95 {profile.p95_ms:8.2f} ms, "
+                f"n={profile.count}{flag}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_peer_slowness(
+    tracer: Tracer,
+    node: Optional[str] = None,
+    factor: float = 4.0,
+    min_samples: int = 10,
+    since_ms: float = 0.0,
+) -> PeerSlownessReport:
+    """Flag peers whose RPC latency profile stands out.
+
+    ``node`` restricts to calls issued *by* that node (None = everyone,
+    aggregated per (caller, peer) pair). A peer is suspect when its
+    median exceeds ``factor`` times the fastest peer's median observed by
+    the same caller.
+    """
+    if factor <= 1.0:
+        raise ValueError("factor must exceed 1")
+    samples: Dict[Tuple[str, str], List[float]] = {}
+    for caller, peer, _method, latency, completed_at in tracer.rpc_latencies:
+        if completed_at < since_ms:
+            continue
+        if node is not None and caller != node:
+            continue
+        samples.setdefault((caller, peer), []).append(latency)
+
+    profiles = [
+        PeerLatencyProfile(caller, peer, values)
+        for (caller, peer), values in samples.items()
+        if len(values) >= min_samples
+    ]
+    suspects: List[str] = []
+    by_caller: Dict[str, List[PeerLatencyProfile]] = {}
+    for profile in profiles:
+        by_caller.setdefault(profile.node, []).append(profile)
+    for caller, caller_profiles in by_caller.items():
+        if len(caller_profiles) < 2:
+            continue  # nothing to compare against
+        baseline = min(p.median_ms for p in caller_profiles)
+        if baseline <= 0:
+            continue
+        for profile in caller_profiles:
+            if profile.median_ms > factor * baseline and profile.peer not in suspects:
+                suspects.append(profile.peer)
+    return PeerSlownessReport(profiles, sorted(suspects))

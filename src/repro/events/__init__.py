@@ -1,0 +1,42 @@
+"""DepFast events — the paper's core abstraction (§3.1, §3.2).
+
+An :class:`~repro.events.base.Event` is a *wait point*: the only way a
+DepFast coroutine can block. Basic events wrap I/O completions and simple
+conditions; compound events (:class:`AndEvent`, :class:`OrEvent`,
+:class:`QuorumEvent`) compose them, and can be nested arbitrarily.
+
+Code whose only inter-node wait points are :class:`QuorumEvent` waits is,
+by the paper's definition, *fail-slow fault-tolerant code* — the checker in
+:mod:`repro.trace.verify` enforces exactly that property over traces.
+"""
+
+from repro.events.base import Event, EventError, WaitDescriptor, WaitResult, YIELD
+from repro.events.basic import (
+    CpuEvent,
+    DiskEvent,
+    NeverEvent,
+    RpcEvent,
+    SharedIntEvent,
+    TimerEvent,
+    ValueEvent,
+)
+from repro.events.compound import AndEvent, CompoundEvent, OrEvent, QuorumEvent
+
+__all__ = [
+    "AndEvent",
+    "CompoundEvent",
+    "CpuEvent",
+    "DiskEvent",
+    "Event",
+    "EventError",
+    "NeverEvent",
+    "OrEvent",
+    "QuorumEvent",
+    "RpcEvent",
+    "SharedIntEvent",
+    "TimerEvent",
+    "ValueEvent",
+    "WaitDescriptor",
+    "WaitResult",
+    "YIELD",
+]

@@ -1,0 +1,200 @@
+"""Basic (non-compound) DepFast events.
+
+Basic events wrap the sim substrate's callbacks into waitable conditions:
+timers, value/condition variables, shared counters, RPC completions, disk
+completions and CPU-consumption completions. Per §3.2 these are "mostly for
+network and disk I/O events as well as other simple conditions such as
+waiting for a variable to be set [to a] certain value".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.events.base import Event, EventError
+from repro.sim.kernel import Kernel
+from repro.sim.resources import CpuResource, DiskResource
+
+
+class TimerEvent(Event):
+    """Triggers after a fixed virtual delay."""
+
+    kind = "timer"
+
+    def __init__(self, kernel: Kernel, delay_ms: float, name: str = "timer"):
+        super().__init__(name=name)
+        if delay_ms < 0:
+            raise EventError(f"negative timer delay {delay_ms}")
+        self.delay_ms = delay_ms
+        self._call = kernel.schedule(delay_ms, self.trigger, None)
+        self._kernel = kernel
+
+    def trigger(self, now: Optional[float] = None) -> None:
+        super().trigger(self._kernel.now if now is None else now)
+
+    def cancel(self) -> None:
+        """Stop the timer; the event will never trigger."""
+        self._call.cancel()
+
+
+class ValueEvent(Event):
+    """Triggers when a value is set; carries the value.
+
+    The one-shot analog of a future/promise. RPC replies and handler
+    results ride on these.
+    """
+
+    kind = "value"
+
+    def __init__(self, name: str = "value", source: Optional[str] = None):
+        super().__init__(name=name, source=source)
+        self.value: Any = None
+
+    def set(self, value: Any, now: Optional[float] = None) -> None:
+        if self.ready():
+            raise EventError(f"ValueEvent {self.name!r} set twice")
+        self.value = value
+        self.trigger(now)
+
+
+class SharedIntEvent(Event):
+    """Triggers when a shared integer satisfies a condition.
+
+    Defaults to "counter reaches ``target``" — the building block DepFast
+    uses for simple barrier-like conditions. A custom predicate may be
+    supplied instead.
+    """
+
+    kind = "shared_int"
+
+    def __init__(
+        self,
+        target: Optional[int] = None,
+        predicate: Optional[Callable[[int], bool]] = None,
+        name: str = "shared_int",
+    ):
+        super().__init__(name=name)
+        if (target is None) == (predicate is None):
+            raise EventError("provide exactly one of target / predicate")
+        self.value = 0
+        self._predicate = predicate if predicate is not None else (lambda v: v >= target)
+        self._maybe_trigger()
+
+    def add(self, n: int = 1, now: Optional[float] = None) -> None:
+        self.value += n
+        self._maybe_trigger(now)
+
+    def set(self, n: int, now: Optional[float] = None) -> None:
+        self.value = n
+        self._maybe_trigger(now)
+
+    def _maybe_trigger(self, now: Optional[float] = None) -> None:
+        if not self.ready() and self._predicate(self.value):
+            self.trigger(now)
+
+
+class RpcEvent(Event):
+    """Completion of one outbound RPC; carries the reply or an error.
+
+    ``source`` is the callee node id — the SPG edge target. The RPC layer
+    completes the event via :meth:`complete` / :meth:`fail`; a wait timeout
+    does *not* complete it (the reply may still arrive later and is then
+    ignored by the already-resumed caller).
+    """
+
+    kind = "rpc"
+
+    def __init__(self, method: str, to_node: str, name: str = ""):
+        super().__init__(name=name or f"rpc:{method}->{to_node}", source=to_node)
+        self.method = method
+        self.to_node = to_node
+        self.reply: Any = None
+        self.error: Optional[str] = None
+        self.issued_at: Optional[float] = None
+        self.cancel_send: Optional[Callable[[], bool]] = None
+
+    def complete(self, reply: Any, now: Optional[float] = None) -> None:
+        if self.ready():
+            return  # late duplicate reply; first one wins
+        self.reply = reply
+        self.trigger(now)
+
+    def fail(self, error: str, now: Optional[float] = None) -> None:
+        if self.ready():
+            return
+        self.error = error
+        self.trigger(now)
+
+    @property
+    def ok(self) -> bool:
+        return self.ready() and self.error is None
+
+    def latency_ms(self) -> Optional[float]:
+        if self.issued_at is None or self.triggered_at is None:
+            return None
+        return self.triggered_at - self.issued_at
+
+
+class DiskEvent(Event):
+    """Completion of one disk operation (write/read/fsync)."""
+
+    kind = "disk"
+
+    def __init__(
+        self,
+        disk: DiskResource,
+        n_bytes: int,
+        op: str = "write",
+        name: str = "",
+        source: Optional[str] = None,
+    ):
+        super().__init__(name=name or f"disk:{op}", source=source)
+        if n_bytes < 0:
+            raise EventError(f"negative I/O size {n_bytes}")
+        self.op = op
+        self.n_bytes = n_bytes
+        self._job = disk.submit(
+            float(n_bytes), on_done=lambda: self.trigger(disk.kernel.now), label=op
+        )
+
+    def cancel(self) -> None:
+        """Abandon the I/O (e.g. the issuing node crashed)."""
+        self._job.cancel()
+
+
+class CpuEvent(Event):
+    """Completion of a slice of CPU work submitted to a node's CPU queue.
+
+    This is how handler compute cost is modelled: a coroutine that does
+    ``cost_ms`` of processing yields a CpuEvent wait, which both delays it
+    and occupies the (possibly throttled) CPU resource.
+    """
+
+    kind = "cpu"
+
+    def __init__(
+        self,
+        cpu: CpuResource,
+        cost_ms: float,
+        name: str = "cpu",
+        source: Optional[str] = None,
+    ):
+        super().__init__(name=name, source=source)
+        if cost_ms < 0:
+            raise EventError(f"negative CPU cost {cost_ms}")
+        self.cost_ms = cost_ms
+        self._job = cpu.submit(
+            cost_ms, on_done=lambda: self.trigger(cpu.kernel.now), label=name
+        )
+
+    def cancel(self) -> None:
+        self._job.cancel()
+
+
+class NeverEvent(Event):
+    """An event that never triggers on its own — timeouts and tests."""
+
+    kind = "never"
+
+    def __init__(self, name: str = "never"):
+        super().__init__(name=name)

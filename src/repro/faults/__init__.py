@@ -1,0 +1,22 @@
+"""Fail-slow fault injection (§2.1, Table 1).
+
+The :data:`~repro.faults.catalog.TABLE1` catalog defines the six fault
+types the paper injects with cgroups/``tc``; :class:`FaultInjector` applies
+them to a simulated node's resources, supports transient (timed) faults,
+and :class:`BackgroundJitter` reproduces the cloud's ambient transient
+slowness that the paper identifies as the amplifier of tail latency when a
+follower is already fail-slow.
+"""
+
+from repro.faults.catalog import TABLE1, FaultSpec, FaultType, fault_names
+from repro.faults.injector import FaultInjector
+from repro.faults.jitter import BackgroundJitter
+
+__all__ = [
+    "BackgroundJitter",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultType",
+    "TABLE1",
+    "fault_names",
+]

@@ -1,0 +1,117 @@
+"""The Table 1 fault catalog.
+
+Each entry maps a paper fault to the resource knob that reproduces its
+mechanism:
+
+=====================  ==========================================  ==========================
+Fail-slow type         Paper's injection                           Model knob
+=====================  ==========================================  ==========================
+CPU (slow)             cgroup: process limited to 5% CPU           ``cpu.quota = 0.05``
+CPU (contention)       contender with 16× higher CPU share         ``cpu.contender_share = 16``
+Disk (slow)            cgroup blkio bandwidth limit                ``disk.cap_fraction``
+Disk (contention)      contending heavy writer on shared disk      ``disk.contender_load``
+Memory (contention)    cgroup cap on user memory                   ``memory.limit_bytes``
+Network (slow)         ``tc`` adds 400 ms to the interface          ``nic.extra_delay_ms = 400``
+=====================  ==========================================  ==========================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+class FaultType(enum.Enum):
+    NONE = "none"
+    CPU_SLOW = "cpu_slow"
+    CPU_CONTENTION = "cpu_contention"
+    DISK_SLOW = "disk_slow"
+    DISK_CONTENTION = "disk_contention"
+    MEMORY_CONTENTION = "memory_contention"
+    NETWORK_SLOW = "network_slow"
+    # Software fail-slow (beyond Table 1): §1 notes fail-slow faults "can
+    # also be introduced in software components due to bugs and
+    # misconfigurations" — e.g. verbose debug logging left enabled, which
+    # multiplies per-message processing cost.
+    DEBUG_LOGGING = "debug_logging"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable fault: a type plus its magnitude parameters."""
+
+    fault_type: FaultType
+    description: str = ""
+    params: Dict[str, float] = field(default_factory=dict)
+
+    def param(self, key: str) -> float:
+        try:
+            return self.params[key]
+        except KeyError:
+            raise KeyError(
+                f"fault {self.fault_type.value!r} missing parameter {key!r}"
+            ) from None
+
+
+TABLE1: Dict[str, FaultSpec] = {
+    "none": FaultSpec(
+        FaultType.NONE,
+        description="No slowness (the normalization baseline)",
+    ),
+    "cpu_slow": FaultSpec(
+        FaultType.CPU_SLOW,
+        description="cgroup limits the RSM process to 5% CPU",
+        params={"quota": 0.05},
+    ),
+    "cpu_contention": FaultSpec(
+        FaultType.CPU_CONTENTION,
+        description="contending program with 16x higher CPU share",
+        params={"contender_share": 16.0},
+    ),
+    "disk_slow": FaultSpec(
+        FaultType.DISK_SLOW,
+        description="cgroup limits disk I/O bandwidth for the RSM process",
+        params={"cap_fraction": 0.03},
+    ),
+    "disk_contention": FaultSpec(
+        FaultType.DISK_CONTENTION,
+        description="contending program writes heavily on the shared disk",
+        params={"contender_load": 0.96},
+    ),
+    "memory_contention": FaultSpec(
+        FaultType.MEMORY_CONTENTION,
+        description="cgroup caps the user memory of the RSM process",
+        params={"limit_fraction": 0.51},
+    ),
+    "network_slow": FaultSpec(
+        FaultType.NETWORK_SLOW,
+        description="tc adds 400 ms delay to the network interface",
+        params={"delay_ms": 400.0},
+    ),
+}
+
+# Software fail-slow faults (extension beyond Table 1's hardware set).
+SOFTWARE_FAULTS: Dict[str, FaultSpec] = {
+    "debug_logging": FaultSpec(
+        FaultType.DEBUG_LOGGING,
+        description="misconfiguration: verbose debug logging multiplies "
+        "per-message processing cost",
+        params={"parse_cost_multiplier": 12.0},
+    ),
+}
+
+
+def fault_names(include_baseline: bool = False) -> List[str]:
+    """The injectable fault names, in Table 1 order."""
+    names = [
+        "cpu_slow",
+        "cpu_contention",
+        "disk_slow",
+        "disk_contention",
+        "memory_contention",
+        "network_slow",
+    ]
+    if include_baseline:
+        return ["none"] + names
+    return names

@@ -1,0 +1,110 @@
+"""Applies, schedules and clears fail-slow faults on cluster nodes."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.faults.catalog import SOFTWARE_FAULTS, TABLE1, FaultSpec, FaultType
+
+
+class FaultInjector:
+    """Injects Table 1 faults into a :class:`~repro.cluster.cluster.Cluster`."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        # node_id -> active fault spec (one fault per node, like the paper).
+        self.active: Dict[str, FaultSpec] = {}
+        self.history: List[Tuple[float, str, str, str]] = []  # (t, node, fault, action)
+
+    # ------------------------------------------------------------------
+    # Immediate injection
+    # ------------------------------------------------------------------
+    def inject(self, node_id: str, spec_or_name) -> None:
+        """Apply a fault now. ``spec_or_name`` is a FaultSpec or Table 1 name."""
+        spec = self._resolve(spec_or_name)
+        if node_id in self.active:
+            raise RuntimeError(
+                f"node {node_id} already has fault "
+                f"{self.active[node_id].fault_type.value}; clear it first"
+            )
+        node = self.cluster.node(node_id)
+        kind = spec.fault_type
+        if kind == FaultType.NONE:
+            return
+        if kind == FaultType.CPU_SLOW:
+            node.cpu.set_quota(spec.param("quota"))
+        elif kind == FaultType.CPU_CONTENTION:
+            node.cpu.set_contender_share(spec.param("contender_share"))
+        elif kind == FaultType.DISK_SLOW:
+            node.disk.set_cap_fraction(spec.param("cap_fraction"))
+        elif kind == FaultType.DISK_CONTENTION:
+            node.disk.set_contender_load(spec.param("contender_load"))
+        elif kind == FaultType.MEMORY_CONTENTION:
+            limit = int(node.spec.memory_bytes * spec.param("limit_fraction"))
+            node.memory.set_limit(limit)
+        elif kind == FaultType.NETWORK_SLOW:
+            node.nic.set_extra_delay(spec.param("delay_ms"))
+        elif kind == FaultType.DEBUG_LOGGING:
+            multiplier = spec.param("parse_cost_multiplier")
+            node.endpoint.parse_cost_ms *= multiplier
+            node.endpoint.parse_cost_per_kb_ms *= multiplier
+        else:  # pragma: no cover - exhaustive over enum
+            raise ValueError(f"unhandled fault type {kind}")
+        self.active[node_id] = spec
+        self.history.append((self.cluster.kernel.now, node_id, kind.value, "inject"))
+
+    def clear(self, node_id: str) -> None:
+        """Remove the node's active fault, restoring healthy resources."""
+        spec = self.active.pop(node_id, None)
+        if spec is None:
+            return
+        node = self.cluster.node(node_id)
+        kind = spec.fault_type
+        if kind == FaultType.CPU_SLOW:
+            node.cpu.set_quota(1.0)
+        elif kind == FaultType.CPU_CONTENTION:
+            node.cpu.set_contender_share(0.0)
+        elif kind == FaultType.DISK_SLOW:
+            node.disk.set_cap_fraction(1.0)
+        elif kind == FaultType.DISK_CONTENTION:
+            node.disk.set_contender_load(0.0)
+        elif kind == FaultType.MEMORY_CONTENTION:
+            node.memory.set_limit(node.spec.memory_bytes)
+        elif kind == FaultType.NETWORK_SLOW:
+            node.nic.set_extra_delay(0.0)
+        elif kind == FaultType.DEBUG_LOGGING:
+            multiplier = spec.param("parse_cost_multiplier")
+            node.endpoint.parse_cost_ms /= multiplier
+            node.endpoint.parse_cost_per_kb_ms /= multiplier
+        self.history.append((self.cluster.kernel.now, node_id, kind.value, "clear"))
+
+    # ------------------------------------------------------------------
+    # Scheduled / transient faults
+    # ------------------------------------------------------------------
+    def inject_at(self, node_id: str, spec_or_name, at_ms: float) -> None:
+        spec = self._resolve(spec_or_name)
+        self.cluster.kernel.schedule_at(at_ms, self.inject, node_id, spec)
+
+    def inject_transient(
+        self, node_id: str, spec_or_name, at_ms: float, duration_ms: float
+    ) -> None:
+        """Fault appears at ``at_ms`` and clears ``duration_ms`` later."""
+        if duration_ms <= 0:
+            raise ValueError("transient fault needs positive duration")
+        spec = self._resolve(spec_or_name)
+        self.cluster.kernel.schedule_at(at_ms, self.inject, node_id, spec)
+        self.cluster.kernel.schedule_at(at_ms + duration_ms, self.clear, node_id)
+
+    def fault_on(self, node_id: str) -> Optional[FaultSpec]:
+        return self.active.get(node_id)
+
+    @staticmethod
+    def _resolve(spec_or_name) -> FaultSpec:
+        if isinstance(spec_or_name, FaultSpec):
+            return spec_or_name
+        spec = TABLE1.get(spec_or_name) or SOFTWARE_FAULTS.get(spec_or_name)
+        if spec is None:
+            known = sorted(TABLE1) + sorted(SOFTWARE_FAULTS)
+            raise KeyError(f"unknown fault {spec_or_name!r}; known: {known}")
+        return spec

@@ -1,0 +1,73 @@
+"""Ambient cloud noise: short transient slowdowns on healthy nodes.
+
+§2.2's third root cause: "with three-node cloud deployments, when one
+follower fails slow, transient performance issues on the *other* follower
+inevitably prolong the tail." This process reproduces those transient
+issues: at random (exponential) intervals a random node's CPU dips for a
+few tens of milliseconds. Healthy quorum systems hide each dip behind the
+other replicas; a system already waiting on the one healthy follower
+cannot, and its P99 inflates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.cluster.cluster import Cluster
+
+
+class BackgroundJitter:
+    """Poisson process of transient CPU dips across a node set."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        nodes: List[str],
+        rng: random.Random,
+        mean_interval_ms: float = 250.0,
+        dip_factor: float = 0.25,
+        mean_duration_ms: float = 30.0,
+    ):
+        if not nodes:
+            raise ValueError("jitter needs at least one target node")
+        if not 0 < dip_factor <= 1.0:
+            raise ValueError("dip factor must be in (0, 1]")
+        self.cluster = cluster
+        self.nodes = list(nodes)
+        self.rng = rng
+        self.mean_interval_ms = mean_interval_ms
+        self.dip_factor = dip_factor
+        self.mean_duration_ms = mean_duration_ms
+        self.dips_injected = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self.rng.expovariate(1.0 / self.mean_interval_ms)
+        self.cluster.kernel.schedule(delay, self._dip)
+
+    def _dip(self) -> None:
+        if not self._running:
+            return
+        node_id = self.rng.choice(self.nodes)
+        node = self.cluster.node(node_id)
+        duration = self.rng.expovariate(1.0 / self.mean_duration_ms)
+        if not node.crashed and node.cpu.jitter_factor == 1.0:
+            node.cpu.set_jitter(self.dip_factor)
+            self.dips_injected += 1
+            self.cluster.kernel.schedule(duration, self._recover, node_id)
+        self._schedule_next()
+
+    def _recover(self, node_id: str) -> None:
+        node = self.cluster.node(node_id)
+        if not node.crashed:
+            node.cpu.set_jitter(1.0)

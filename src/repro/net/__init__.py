@@ -1,0 +1,38 @@
+"""Simulated network substrate: links, connections, inboxes and RPC.
+
+This is the "framework" side of the paper's framework/logic split (§2.3).
+It models what matters for fail-slow propagation:
+
+* per-connection **flow control** — a sender may only have ``window_bytes``
+  outstanding toward a receiver; beyond that, messages queue in the
+  sender's :class:`~repro.net.buffers.SendBuffer`. A fail-slow receiver
+  drains its inbox slowly, acks slowly, and the sender's buffer grows —
+  exactly the RethinkDB backlog root cause of §2.2;
+* **send-buffer memory accounting** against the sender's
+  :class:`~repro.sim.resources.MemoryResource`, so unbounded buffers can
+  drive a leader out of memory;
+* **quorum-aware broadcast** (:class:`~repro.net.rpc.QuorumCall`) — the
+  framework knows a broadcast succeeds with a quorum of replies and can
+  discard queued messages for slow connections once the quorum is in.
+"""
+
+from repro.net.buffers import BufferOverflowError, SendBuffer
+from repro.net.inbox import Inbox
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.network import Connection, Network
+from repro.net.rpc import QuorumCall, RpcEndpoint, RpcError, RpcProxy
+
+__all__ = [
+    "BufferOverflowError",
+    "Connection",
+    "Inbox",
+    "Link",
+    "Message",
+    "Network",
+    "QuorumCall",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcProxy",
+    "SendBuffer",
+]

@@ -1,0 +1,102 @@
+"""Per-connection outgoing send buffers.
+
+The buffer is the site of the paper's second root cause (§2.2):
+
+    "RethinkDB maintains an unbounded buffer at the leader for outgoing
+    writes — a slow follower can drive the leader to use an excessive
+    amount of memory, or even run out of memory."
+
+:class:`SendBuffer` accounts its bytes against the owning node's
+:class:`~repro.sim.resources.MemoryResource` so that exactly this failure
+mode is reproducible. A *bounded* buffer (what a fail-slow-aware framework
+uses) instead rejects or drops when full, and the DepFast framework layer
+additionally *discards* buffered messages once a quorum makes them
+irrelevant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.net.message import Message
+from repro.sim.metrics import Gauge
+from repro.sim.resources import MemoryResource
+
+
+class BufferOverflowError(RuntimeError):
+    """A bounded send buffer refused a message."""
+
+
+class SendBuffer:
+    """FIFO of messages waiting for flow-control window on one connection."""
+
+    def __init__(
+        self,
+        owner: str,
+        peer: str,
+        memory: Optional[MemoryResource] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self.owner = owner
+        self.peer = peer
+        self.memory = memory
+        self.max_bytes = max_bytes
+        self.bytes_queued = 0
+        self.depth_gauge = Gauge(f"{owner}->{peer}.sendbuf")
+        self._queue: Deque[Message] = deque()
+        self._mem_owner = f"sendbuf:{peer}"
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bounded(self) -> bool:
+        return self.max_bytes is not None
+
+    def push(self, message: Message) -> None:
+        """Queue a message; raises :class:`BufferOverflowError` if bounded-full."""
+        if self.max_bytes is not None and self.bytes_queued + message.size_bytes > self.max_bytes:
+            raise BufferOverflowError(
+                f"{self.owner}->{self.peer} buffer full "
+                f"({self.bytes_queued}B + {message.size_bytes}B > {self.max_bytes}B)"
+            )
+        self._queue.append(message)
+        self.bytes_queued += message.size_bytes
+        self.depth_gauge.set(self.bytes_queued)
+        if self.memory is not None:
+            self.memory.allocate(message.size_bytes, owner=self._mem_owner)
+
+    def pop(self) -> Optional[Message]:
+        """Dequeue the oldest message, or None if empty."""
+        if not self._queue:
+            return None
+        message = self._queue.popleft()
+        self._release(message)
+        return message
+
+    def discard(self, msg_id: int) -> bool:
+        """Remove a specific queued message (quorum-aware framework discard).
+
+        Returns True if the message was still queued (and is now dropped).
+        """
+        for message in self._queue:
+            if message.msg_id == msg_id:
+                self._queue.remove(message)
+                self._release(message)
+                return True
+        return False
+
+    def drain_all(self) -> int:
+        """Drop everything (connection teardown); returns messages dropped."""
+        dropped = 0
+        while self._queue:
+            self._release(self._queue.popleft())
+            dropped += 1
+        return dropped
+
+    def _release(self, message: Message) -> None:
+        self.bytes_queued -= message.size_bytes
+        self.depth_gauge.set(self.bytes_queued)
+        if self.memory is not None:
+            self.memory.free(message.size_bytes, owner=self._mem_owner)

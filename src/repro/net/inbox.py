@@ -1,0 +1,62 @@
+"""Receiver-side message queue with event-based handoff.
+
+Messages delivered by the network land in the node's :class:`Inbox`; the
+node's dispatcher coroutine pulls them one at a time. Flow-control acks are
+sent when the dispatcher *takes* a message — so a CPU-starved node drains
+its inbox slowly, delays acks, and backpressures its senders, which is the
+mechanism behind sender-side backlog growth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional, Tuple
+
+from repro.events.basic import ValueEvent
+from repro.net.message import Message
+
+# (message, ack) pairs: calling ack() releases the sender's window bytes.
+_Item = Tuple[Message, Callable[[], None]]
+
+
+class Inbox:
+    """Single-consumer message queue for one node."""
+
+    def __init__(self, node: str):
+        self.node = node
+        self._queue: Deque[_Item] = deque()
+        self._waiter: Optional[ValueEvent] = None
+        self.received = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def put(self, message: Message, ack: Callable[[], None]) -> None:
+        """Deliver a message (network side). Acks fire at consumption."""
+        self.received += 1
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            ack()
+            waiter.set(message)
+        else:
+            self._queue.append((message, ack))
+
+    def get_event(self) -> ValueEvent:
+        """Event carrying the next message; consume with ``(yield ev.wait()).event.value``.
+
+        Single-consumer: only one outstanding get is allowed.
+        """
+        if self._waiter is not None:
+            raise RuntimeError(f"inbox {self.node!r} already has a pending get")
+        event = ValueEvent(name=f"inbox:{self.node}", source=self.node)
+        if self._queue:
+            message, ack = self._queue.popleft()
+            ack()
+            event.set(message)
+        else:
+            self._waiter = event
+        return event
+
+    def cancel_get(self) -> None:
+        """Abandon a pending get (node shutting down)."""
+        self._waiter = None

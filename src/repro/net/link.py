@@ -1,0 +1,46 @@
+"""Point-to-point link parameters.
+
+A link connects two nodes with a propagation delay, a serialization
+bandwidth and optional jitter. The default models an intra-region cloud
+network (sub-millisecond RTT, 1 Gbit/s-class throughput), matching the
+paper's Azure deployment; the network-slow fault is applied at the *NIC*,
+not here, since ``tc`` shapes the interface of one node.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class Link:
+    """Delay/bandwidth description for one direction of a node pair."""
+
+    def __init__(
+        self,
+        latency_ms: float = 0.25,
+        bandwidth_mbps: float = 125.0,
+        jitter_ms: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ):
+        if latency_ms < 0:
+            raise ValueError("latency must be >= 0")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth must be > 0")
+        if jitter_ms < 0:
+            raise ValueError("jitter must be >= 0")
+        self.latency_ms = latency_ms
+        self.bandwidth_mbps = bandwidth_mbps
+        self.jitter_ms = jitter_ms
+        self._rng = rng
+
+    def transfer_ms(self, n_bytes: int) -> float:
+        """Serialization time for ``n_bytes`` at link bandwidth."""
+        bytes_per_ms = self.bandwidth_mbps * 1000.0
+        return n_bytes / bytes_per_ms
+
+    def propagation_ms(self) -> float:
+        """One-way propagation delay, with jitter if configured."""
+        if self.jitter_ms > 0 and self._rng is not None:
+            return self.latency_ms + self._rng.uniform(0.0, self.jitter_ms)
+        return self.latency_ms

@@ -1,0 +1,65 @@
+"""Wire messages.
+
+A :class:`Message` is what travels on connections: RPC requests, RPC
+replies and one-way notifications all share this envelope. ``size_bytes``
+drives transfer time and buffer accounting; ``payload`` is an arbitrary
+Python object (the simulation never serializes for real).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+_msg_ids = itertools.count(1)
+
+# Fixed per-message envelope overhead added to payload size.
+HEADER_BYTES = 64
+
+
+class Message:
+    """One unit of network transfer."""
+
+    __slots__ = (
+        "msg_id",
+        "src",
+        "dst",
+        "method",
+        "payload",
+        "size_bytes",
+        "reply_to",
+        "sent_at",
+        "delivered_at",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+        reply_to: Optional[int] = None,
+    ):
+        if size_bytes < 0:
+            raise ValueError(f"negative message size {size_bytes}")
+        self.msg_id = next(_msg_ids)
+        self.src = src
+        self.dst = dst
+        self.method = method
+        self.payload = payload
+        self.size_bytes = size_bytes + HEADER_BYTES
+        self.reply_to = reply_to
+        self.sent_at: Optional[float] = None
+        self.delivered_at: Optional[float] = None
+
+    @property
+    def is_reply(self) -> bool:
+        return self.reply_to is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = f"reply->{self.reply_to}" if self.is_reply else "request"
+        return (
+            f"<Message #{self.msg_id} {self.src}->{self.dst} "
+            f"{self.method} {kind} {self.size_bytes}B>"
+        )

@@ -1,0 +1,250 @@
+"""The network: endpoints, connections, flow control and delivery.
+
+Model summary (per ordered node pair = one :class:`Connection`):
+
+* a message occupies the connection's *flow-control window* from transmit
+  until the receiver's dispatcher consumes it (TCP socket buffers + BDP);
+* messages beyond the window queue in the sender's
+  :class:`~repro.net.buffers.SendBuffer` (memory-accounted);
+* transfer time = sender NIC delay + serialization at link bandwidth +
+  propagation (+ jitter) + receiver NIC delay; serialization is pipelined
+  per connection (a long message delays the next one's start);
+* crashing a node drops its queued and in-flight traffic and instantly
+  releases peers' windows (connection reset).
+
+The per-node NIC delay is where the Table 1 network-slow fault (+400 ms)
+is injected.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net.buffers import SendBuffer
+from repro.net.inbox import Inbox
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.resources import MemoryResource, NicResource
+
+# Default flow-control window per connection, sized like an autotuned TCP
+# buffer on a datacenter path. A receiver that consumes slowly (fail-slow
+# CPU) fills it within a second or two of sustained traffic and then
+# backpressures the sender into its application buffers.
+DEFAULT_WINDOW_BYTES = 8 * 1024 * 1024
+
+
+class _Endpoint:
+    """Network-side record of one attached node."""
+
+    __slots__ = ("node", "inbox", "nic", "memory", "buffer_limit", "crashed")
+
+    def __init__(
+        self,
+        node: str,
+        inbox: Inbox,
+        nic: NicResource,
+        memory: Optional[MemoryResource],
+        buffer_limit: Optional[int],
+    ):
+        self.node = node
+        self.inbox = inbox
+        self.nic = nic
+        self.memory = memory
+        self.buffer_limit = buffer_limit
+        self.crashed = False
+
+
+class Connection:
+    """One direction of traffic between an ordered pair of nodes."""
+
+    def __init__(
+        self,
+        network: "Network",
+        src: _Endpoint,
+        dst: _Endpoint,
+        link: Link,
+        window_bytes: int = DEFAULT_WINDOW_BYTES,
+    ):
+        self.network = network
+        self.src = src
+        self.dst = dst
+        self.link = link
+        self.window_bytes = window_bytes
+        self.in_flight = 0
+        self.buffer = SendBuffer(
+            src.node, dst.node, memory=src.memory, max_bytes=src.buffer_limit
+        )
+        self._tx_free_at = 0.0
+        self.sent = 0
+        self.delivered = 0
+        self.discarded = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Transmit now if window allows, else queue in the send buffer.
+
+        Raises :class:`~repro.net.buffers.BufferOverflowError` if this
+        connection uses a bounded buffer and it is full.
+        """
+        message.sent_at = self.network.kernel.now
+        if self.src.crashed:
+            return  # a dead process sends nothing
+        if self._window_admits(message.size_bytes) and not self.buffer:
+            self._transmit(message)
+        else:
+            self.buffer.push(message)
+
+    def discard(self, msg_id: int) -> bool:
+        """Drop a still-buffered message (the quorum-aware optimization)."""
+        dropped = self.buffer.discard(msg_id)
+        if dropped:
+            self.discarded += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _transmit(self, message: Message) -> None:
+        kernel = self.network.kernel
+        self.in_flight += message.size_bytes
+        self.sent += 1
+        tx_start = max(kernel.now, self._tx_free_at)
+        tx_end = tx_start + self.link.transfer_ms(message.size_bytes)
+        self._tx_free_at = tx_end
+        arrival = (
+            tx_end
+            + self.src.nic.delay_ms()
+            + self.link.propagation_ms()
+            + self.dst.nic.delay_ms()
+        )
+        kernel.schedule_at(arrival, self._deliver, message)
+
+    def _deliver(self, message: Message) -> None:
+        if self.dst.crashed or self.src.crashed:
+            # Connection reset: the bytes are gone, window is released.
+            self._release(message)
+            return
+        message.delivered_at = self.network.kernel.now
+        self.delivered += 1
+        self.dst.inbox.put(message, ack=lambda: self._release(message))
+
+    def _release(self, message: Message) -> None:
+        self.in_flight -= message.size_bytes
+        self._pump()
+
+    def _window_admits(self, size_bytes: int) -> bool:
+        # Like TCP, an idle connection always admits one message even if it
+        # exceeds the window, so oversized messages cannot deadlock.
+        if self.in_flight == 0:
+            return True
+        return self.in_flight + size_bytes <= self.window_bytes
+
+    def _pump(self) -> None:
+        while self.buffer and not self.src.crashed:
+            head_size = self.buffer._queue[0].size_bytes  # peek
+            if not self._window_admits(head_size):
+                return
+            message = self.buffer.pop()
+            if message is not None:
+                self._transmit(message)
+
+    def reset(self) -> None:
+        """Drop all queued traffic (either side crashed)."""
+        self.buffer.drain_all()
+
+
+class Network:
+    """Topology registry and the send entry point."""
+
+    def __init__(self, kernel: Kernel, default_link: Optional[Link] = None):
+        self.kernel = kernel
+        self.default_link = default_link or Link()
+        self.metrics = MetricsRegistry("net")
+        self._endpoints: Dict[str, _Endpoint] = {}
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._connections: Dict[Tuple[str, str], Connection] = {}
+        self._window_bytes = DEFAULT_WINDOW_BYTES
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        node: str,
+        inbox: Inbox,
+        nic: Optional[NicResource] = None,
+        memory: Optional[MemoryResource] = None,
+        buffer_limit: Optional[int] = None,
+    ) -> None:
+        """Register a node. ``buffer_limit=None`` means *unbounded* buffers."""
+        if node in self._endpoints:
+            raise ValueError(f"node {node!r} already attached")
+        self._endpoints[node] = _Endpoint(
+            node, inbox, nic or NicResource(), memory, buffer_limit
+        )
+
+    def set_link(self, src: str, dst: str, link: Link, symmetric: bool = True) -> None:
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def set_window_bytes(self, window_bytes: int) -> None:
+        """Flow-control window for connections created after this call."""
+        if window_bytes <= 0:
+            raise ValueError("window must be positive")
+        self._window_bytes = window_bytes
+
+    def nic_of(self, node: str) -> NicResource:
+        return self._require(node).nic
+
+    def nodes(self) -> list:
+        return sorted(self._endpoints)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Send a message along the (src, dst) connection."""
+        connection = self.connection(message.src, message.dst)
+        self.metrics.counter("messages").inc()
+        connection.send(message)
+
+    def connection(self, src: str, dst: str) -> Connection:
+        key = (src, dst)
+        conn = self._connections.get(key)
+        if conn is None:
+            link = self._links.get(key, self.default_link)
+            conn = Connection(
+                self, self._require(src), self._require(dst), link, self._window_bytes
+            )
+            self._connections[key] = conn
+        return conn
+
+    def crash(self, node: str) -> None:
+        """Mark a node dead: drops its traffic, resets peers' connections."""
+        endpoint = self._require(node)
+        endpoint.crashed = True
+        for (src, dst), conn in self._connections.items():
+            if src == node or dst == node:
+                conn.reset()
+
+    def is_crashed(self, node: str) -> bool:
+        return self._require(node).crashed
+
+    def buffered_bytes_from(self, node: str) -> int:
+        """Total send-buffer backlog at ``node`` (the §2.2 backlog metric)."""
+        return sum(
+            conn.buffer.bytes_queued
+            for (src, _dst), conn in self._connections.items()
+            if src == node
+        )
+
+    def _require(self, node: str) -> _Endpoint:
+        endpoint = self._endpoints.get(node)
+        if endpoint is None:
+            raise ValueError(f"unknown node {node!r}")
+        return endpoint

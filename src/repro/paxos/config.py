@@ -1,0 +1,34 @@
+"""Multi-Paxos tuning knobs (costs matched to RaftConfig for fairness)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PaxosConfig:
+    heartbeat_interval_ms: float = 100.0
+    election_timeout_min_ms: float = 1200.0
+    election_timeout_max_ms: float = 2400.0
+    prepare_timeout_ms: float = 500.0
+    accept_timeout_ms: float = 500.0
+    client_commit_timeout_ms: float = 3000.0
+
+    batch_max_entries: int = 64
+
+    discard_on_quorum: bool = True
+
+    client_op_cost_ms: float = 0.45
+    accept_base_cost_ms: float = 0.05
+    accept_entry_cost_ms: float = 0.02
+    apply_cost_ms: float = 0.06
+    replicate_entry_cost_ms: float = 0.01
+
+    preferred_leader: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.election_timeout_min_ms > self.election_timeout_max_ms:
+            raise ValueError("election timeout min > max")
+        if self.batch_max_entries < 1:
+            raise ValueError("batch size must be >= 1")

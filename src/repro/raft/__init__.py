@@ -1,0 +1,29 @@
+"""DepFastRaft (§3.4): a Raft-based replicated KV store written on DepFast.
+
+Both halves of Raft — leader election and data replication — follow the
+same pattern: broadcast, then proceed on a quorum of acknowledgements.
+Every inter-node wait in this package is a
+:class:`~repro.events.compound.QuorumEvent` (or an AndEvent of one with a
+local durability event), so by the paper's definition the logic is
+fail-slow fault-tolerant code — the property
+:func:`repro.trace.verify.check_fail_slow_tolerance` verifies over traces.
+
+Use :func:`deploy_depfast_raft` to stand a group up on a
+:class:`~repro.cluster.cluster.Cluster`.
+"""
+
+from repro.raft.config import RaftConfig
+from repro.raft.log import RaftLog
+from repro.raft.node import RaftNode
+from repro.raft.service import deploy_depfast_raft, find_leader
+from repro.raft.types import LogEntry, Role
+
+__all__ = [
+    "LogEntry",
+    "RaftConfig",
+    "RaftLog",
+    "RaftNode",
+    "Role",
+    "deploy_depfast_raft",
+    "find_leader",
+]

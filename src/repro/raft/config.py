@@ -1,0 +1,77 @@
+"""DepFastRaft tuning knobs.
+
+Timing values are virtual milliseconds; CPU costs are CPU-ms charged to
+the node's (possibly throttled) CPU resource, which is how handler
+processing cost is modelled. The defaults are calibrated so a healthy
+3-node group serves ~5K requests/s with the leader around 60–75% CPU —
+the paper's operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class RaftConfig:
+    # -- protocol timing ------------------------------------------------
+    heartbeat_interval_ms: float = 100.0
+    election_timeout_min_ms: float = 1200.0
+    election_timeout_max_ms: float = 2400.0
+    append_rpc_timeout_ms: float = 500.0
+    vote_rpc_timeout_ms: float = 400.0
+    client_commit_timeout_ms: float = 3000.0
+
+    # -- batching -------------------------------------------------------
+    batch_max_entries: int = 64
+    repair_batch_entries: int = 64
+
+    # -- leader entry cache (recent entries kept in memory) -------------
+    entry_cache_entries: int = 4096
+
+    # -- fail-slow-aware framework policy --------------------------------
+    discard_on_quorum: bool = True
+
+    # -- read path --------------------------------------------------------
+    # "log": reads are replicated log entries (simplest, always safe).
+    # "read_index": leader confirms leadership with a quorum probe, then
+    #   serves from the applied state machine (no log write per read).
+    # "lease": leader serves reads locally while it holds a heartbeat
+    #   lease, falling back to read_index when the lease lapsed.
+    read_mode: str = "log"
+    lease_duration_ms: float = 300.0
+
+    # -- log compaction ----------------------------------------------------
+    # Snapshot + truncate once this many entries are applied beyond the
+    # log base (None disables compaction). ``compaction_keep_entries`` of
+    # recent log tail stay for ordinary repair; followers further behind
+    # get a snapshot install.
+    snapshot_threshold_entries: Optional[int] = None
+    compaction_keep_entries: int = 1024
+
+    # -- CPU cost model (CPU-ms) -----------------------------------------
+    client_op_cost_ms: float = 0.45        # admission + request execution
+    append_base_cost_ms: float = 0.05      # per AppendEntries processed
+    append_entry_cost_ms: float = 0.02     # per entry appended (follower)
+    apply_cost_ms: float = 0.06            # per entry applied to the KV
+    replicate_entry_cost_ms: float = 0.01  # per entry serialized per peer
+
+    # If set, this node gets a short first election timeout so the group
+    # elects a deterministic initial leader (the paper measures a stable
+    # leader; elections still work normally afterwards).
+    preferred_leader: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.election_timeout_min_ms > self.election_timeout_max_ms:
+            raise ValueError("election timeout min > max")
+        if self.batch_max_entries < 1:
+            raise ValueError("batch size must be >= 1")
+        if self.heartbeat_interval_ms >= self.election_timeout_min_ms:
+            raise ValueError("heartbeats must be faster than election timeouts")
+        if self.read_mode not in ("log", "read_index", "lease"):
+            raise ValueError(f"unknown read mode {self.read_mode!r}")
+        if self.snapshot_threshold_entries is not None and (
+            self.snapshot_threshold_entries <= self.compaction_keep_entries
+        ):
+            raise ValueError("snapshot threshold must exceed the kept tail")

@@ -1,0 +1,164 @@
+"""Fast-path/slow-path consensus rounds via nested events (§3.2).
+
+The paper's second code example: "minority-plus-one-reject" and
+fast-quorum conditions are awkward to express with callbacks but direct
+with nested compound events::
+
+    OrEvent fastpath(fast_ok, fast_reject);
+    fastpath.Wait(1000);
+    if (fast_ok.Ready()) { ... }
+    else if (fast_reject.Ready() || fastpath.Timeout()) { ...slow path... }
+
+:class:`FastPathCoordinator` runs one decree of a Fast-Paxos-style round:
+try the fast quorum (⌈3n/4⌉ acceptors accepting unanimously), and on
+rejection or timeout fall back to a classic majority round. Acceptor
+conflicts (another proposer's value already accepted) are what push the
+round onto the slow path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cluster.node import Node
+from repro.events.compound import OrEvent, QuorumEvent
+from repro.net.rpc import QuorumCall
+
+
+def fast_quorum_size(n: int) -> int:
+    """⌈3n/4⌉ — the classic fast-quorum size."""
+    return math.ceil(3 * n / 4)
+
+
+def majority_size(n: int) -> int:
+    return n // 2 + 1
+
+
+@dataclass
+class DecreeOutcome:
+    path: str            # "fast" | "slow" | "retry" | "disconnect"
+    value: Optional[Any]
+    fast_ok: int
+    fast_reject: int
+    decided_at_ms: float
+
+
+class FastPathAcceptor:
+    """One acceptor: accepts a value unless it conflicts with one it holds."""
+
+    def __init__(self, node: Node, accept_cost_ms: float = 0.05):
+        self.node = node
+        self.accept_cost_ms = accept_cost_ms
+        self.accepted: Dict[int, Any] = {}  # decree -> value
+        node.endpoint.register("fast_accept", self._on_accept)
+        node.endpoint.register("slow_accept", self._on_accept)
+
+    def _on_accept(self, payload: Dict[str, Any], src: str) -> Generator:
+        yield self.node.runtime.compute(self.accept_cost_ms, name="accept")
+        decree = payload["decree"]
+        value = payload["value"]
+        held = self.accepted.get(decree)
+        if held is None or held == value or payload.get("force"):
+            self.accepted[decree] = value
+            return {"ok": True, "held": value}
+        return {"ok": False, "held": held}
+
+    def preseed(self, decree: int, value: Any) -> None:
+        """Plant a conflicting acceptance (simulates a rival proposer)."""
+        self.accepted[decree] = value
+
+
+class FastPathCoordinator:
+    """Drives one decree through the fast path, falling back to slow."""
+
+    def __init__(
+        self,
+        node: Node,
+        acceptor_ids: List[str],
+        timeout_ms: float = 1000.0,
+    ):
+        if not acceptor_ids:
+            raise ValueError("need at least one acceptor")
+        self.node = node
+        self.acceptor_ids = list(acceptor_ids)
+        self.timeout_ms = timeout_ms
+
+    def propose(self, decree: int, value: Any) -> Generator:
+        """Generator: run the round; returns a :class:`DecreeOutcome`.
+
+        The structure is a direct transcription of the paper's snippet.
+        """
+        endpoint = self.node.endpoint
+        n = len(self.acceptor_ids)
+        fast_q = fast_quorum_size(n)
+        # "minority-plus-one-reject": once this many acceptors reject, the
+        # fast quorum is unreachable.
+        fast_reject_q = n - fast_q + 1
+
+        payload = {"decree": decree, "value": value}
+        calls = [
+            endpoint.call(target, "fast_accept", payload, size_bytes=64)
+            for target in self.acceptor_ids
+        ]
+        fast_ok = QuorumEvent(
+            fast_q, n_total=n, classify=lambda ev: ev.ok and ev.reply["ok"],
+            name="fast_ok",
+        )
+        fast_reject = QuorumEvent(
+            fast_reject_q,
+            n_total=n,
+            classify=lambda ev: ev.ok and not ev.reply["ok"],
+            name="fast_reject",
+        )
+        for rpc in calls:
+            fast_ok.add(rpc)
+            fast_reject.add(rpc)
+        fastpath = OrEvent(fast_ok, fast_reject, name="fastpath")
+        yield fastpath.wait(timeout_ms=self.timeout_ms)
+
+        if fast_ok.ready():
+            return DecreeOutcome(
+                "fast", value, fast_ok.n_ok, fast_reject.n_ok, self.node.runtime.now
+            )
+        if fast_reject.ready() or fastpath.timed_out:
+            outcome = yield from self._slow_round(decree, value)
+            outcome.fast_ok = fast_ok.n_ok
+            outcome.fast_reject = fast_reject.n_ok
+            return outcome
+        return DecreeOutcome(  # pragma: no cover - defensive
+            "disconnect", None, fast_ok.n_ok, fast_reject.n_ok, self.node.runtime.now
+        )
+
+    def _slow_round(self, decree: int, value: Any) -> Generator:
+        endpoint = self.node.endpoint
+        n = len(self.acceptor_ids)
+        slow_q = majority_size(n)
+        payload = {"decree": decree, "value": value, "force": True}
+        call = QuorumCall(
+            endpoint,
+            self.acceptor_ids,
+            "slow_accept",
+            payload,
+            size_bytes=64,
+            quorum=slow_q,
+            classify=lambda ev: bool(ev.reply["ok"]),
+            name="slow_ok",
+        )
+        slow_reject = QuorumEvent(
+            n - slow_q + 1,
+            n_total=n,
+            classify=lambda ev: ev.ok and not ev.reply["ok"],
+            name="slow_reject",
+        )
+        for rpc in call.calls:
+            slow_reject.add(rpc)
+        slowpath = OrEvent(call.event, slow_reject, name="slowpath")
+        yield slowpath.wait(timeout_ms=self.timeout_ms)
+        now = self.node.runtime.now
+        if call.event.ready():
+            return DecreeOutcome("slow", value, 0, 0, now)
+        if slow_reject.ready():
+            return DecreeOutcome("retry", None, 0, 0, now)
+        return DecreeOutcome("disconnect", None, 0, 0, now)

@@ -1,0 +1,749 @@
+"""DepFastRaft node: election + replication, written against QuorumEvent.
+
+The structure mirrors the paper's §3.1/§3.4 code:
+
+* the **batcher** appends client ops to the log and waits on
+  ``AndEvent(local WAL fsync, QuorumEvent(majority-1 of followers))`` —
+  never on any single follower;
+* followers that fall behind (because the quorum-aware framework discarded
+  their messages, or because they are fail-slow) are caught up by a
+  background **repair** coroutine whose waits — including disk reads of
+  entries evicted from the entry cache — are off the client critical path
+  (contrast with the TiDB baseline, which blocks its one thread on that
+  same read);
+* **election** is a QuorumCall of RequestVotes;
+* every cross-node wait is a quorum wait, so the trace verifier's
+  fail-slow-tolerance check passes by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Any, Deque, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.cluster.node import Node
+from repro.events.base import Event
+from repro.events.basic import RpcEvent, ValueEvent
+from repro.events.compound import QuorumEvent
+from repro.net.rpc import QuorumCall
+from repro.raft.config import RaftConfig
+from repro.raft.log import RaftLog
+from repro.raft.types import LogEntry, Role, entries_size
+from repro.storage.kvstore import KvStore
+
+
+class _PendingOp:
+    """A client operation waiting to be batched and committed."""
+
+    __slots__ = ("op", "done")
+
+    def __init__(self, op, done: ValueEvent):
+        self.op = op
+        self.done = done
+
+
+class RaftNode:
+    """One member of a DepFastRaft group."""
+
+    def __init__(
+        self,
+        node: Node,
+        group: List[str],
+        config: Optional[RaftConfig] = None,
+        rng: Optional[random.Random] = None,
+        state_machine: Optional[KvStore] = None,
+    ):
+        if node.node_id not in group:
+            raise ValueError(f"{node.node_id} not in group {group}")
+        self.node = node
+        self.id = node.node_id
+        self.peers = [member for member in group if member != self.id]
+        self.group = list(group)
+        self.majority = len(group) // 2 + 1
+        self.config = config or RaftConfig()
+        self.rng = rng or random.Random(hash(self.id) & 0xFFFF)
+
+        self.rt = node.runtime
+        self.ep = node.endpoint
+
+        # Persistent-ish state.
+        self.term = 0
+        self.voted_for: Optional[str] = None
+        self.role = Role.FOLLOWER
+        self.leader_hint: Optional[str] = None
+        self.log = RaftLog(cache_entries=self.config.entry_cache_entries)
+        # The replicated state machine: a plain KV store by default, or
+        # any KvStore subclass (e.g. the transactional store of repro.txn).
+        self.kv = state_machine if state_machine is not None else KvStore()
+        self.commit_index = 0
+        self.last_applied = 0
+
+        # Leader volatile state. ``_sent_index`` tracks stream contiguity
+        # (last index sent on the direct FIFO stream, acked or not);
+        # ``_match_index`` tracks acknowledgements. A follower whose acks
+        # merely lag keeps receiving the direct stream; repair runs only
+        # when the stream actually broke (discard, overflow, mismatch).
+        self._next_index: Dict[str, int] = {}
+        self._match_index: Dict[str, int] = {}
+        self._sent_index: Dict[str, int] = {}
+        self._repairing: Set[str] = set()
+        self._catchup_promises: List[Tuple[str, int, Event]] = []
+        self._completions: Dict[int, ValueEvent] = {}
+        self._pending_ops: Deque[_PendingOp] = deque()
+        self._pending_signal: Optional[ValueEvent] = None
+        self._step_down: Optional[ValueEvent] = None
+
+        # Follower serialization + liveness.
+        self._append_gate = Event(name="append-gate")
+        self._append_gate.trigger()
+        self._ht_event: Optional[ValueEvent] = None
+        self._applying = False
+
+        # Counters for tests/analysis.
+        self.elections_started = 0
+        self.became_leader = 0
+        self.batches_committed = 0
+        self.repairs_started = 0
+
+        # Follower-side observability consumed by the fail-slow detector
+        # (§5): what the leader last reported about itself, and a leader
+        # this node suspects of being fail-slow (suspected leaders no
+        # longer reset our election timer, so a re-election happens).
+        self.last_heartbeat_at: Optional[float] = None
+        self.last_leader_pending = 0
+        self.suspected_leader: Optional[str] = None
+
+        # Read path (read_index / lease modes) and compaction state.
+        self._lease_until = -1.0
+        self.reads_served = 0
+        self.read_probes = 0
+        self.snapshots_taken = 0
+        self.snapshots_installed = 0
+
+        self.ep.register("append_entries", self._on_append_entries)
+        self.ep.register("heartbeat", self._on_heartbeat)
+        self.ep.register("request_vote", self._on_request_vote)
+        self.ep.register("client_request", self._on_client_request)
+        self.ep.register("read_probe", self._on_read_probe)
+        self.ep.register("install_snapshot", self._on_install_snapshot)
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        self.node.start()
+        self.rt.spawn(self._main_loop(), name=f"{self.id}:raft-main")
+
+    def is_leader(self) -> bool:
+        return self.role == Role.LEADER and not self.node.crashed
+
+    def _leading(self, term: int) -> bool:
+        return self.role == Role.LEADER and self.term == term and not self.rt.crashed
+
+    # ==================================================================
+    # Main loop: follower timers, elections, leadership
+    # ==================================================================
+    def _main_loop(self) -> Generator:
+        while not self.rt.crashed:
+            if self.role == Role.LEADER:
+                self._step_down = ValueEvent(name=f"{self.id}:step-down")
+                yield self._step_down.wait()
+                continue
+            self._ht_event = ValueEvent(name=f"{self.id}:heartbeat-seen")
+            result = yield self._ht_event.wait(timeout_ms=self._election_timeout())
+            if result.timed_out and self.role != Role.LEADER:
+                yield from self._run_election()
+
+    def _election_timeout(self) -> float:
+        cfg = self.config
+        if cfg.preferred_leader is not None and self.term == 0:
+            # Deterministic first election: the preferred node times out
+            # first and wins before anyone else stirs.
+            if cfg.preferred_leader == self.id:
+                return 10.0 + self.rng.uniform(0.0, 5.0)
+            return cfg.election_timeout_min_ms + self.rng.uniform(
+                0.0, cfg.election_timeout_max_ms - cfg.election_timeout_min_ms
+            )
+        return cfg.election_timeout_min_ms + self.rng.uniform(
+            0.0, self.config.election_timeout_max_ms - cfg.election_timeout_min_ms
+        )
+
+    def _poke_heartbeat(self) -> None:
+        if self._ht_event is not None and not self._ht_event.ready():
+            self._ht_event.set(True, now=self.rt.now)
+
+    def _run_election(self) -> Generator:
+        cfg = self.config
+        self.role = Role.CANDIDATE
+        self.term += 1
+        term = self.term
+        self.voted_for = self.id
+        self.elections_started += 1
+        if not self.peers:
+            self._become_leader(term)
+            return
+        payload = {
+            "term": term,
+            "candidate": self.id,
+            "last_index": self.log.last_index(),
+            "last_term": self.log.last_term(),
+        }
+        call = QuorumCall(
+            self.ep,
+            self.peers,
+            "request_vote",
+            payload,
+            size_bytes=32,
+            quorum=self.majority - 1,
+            classify=lambda ev: bool(ev.reply.get("granted")),
+            discard_on_quorum=cfg.discard_on_quorum,
+            name=f"{self.id}:election@{term}",
+        )
+        for rpc in call.calls:
+            rpc.subscribe(self._check_reply_term)
+        yield call.wait(timeout_ms=cfg.vote_rpc_timeout_ms)
+        if self.role != Role.CANDIDATE or self.term != term:
+            return  # a new leader or term appeared meanwhile
+        if call.event.ready():
+            self._become_leader(term)
+        else:
+            self.role = Role.FOLLOWER  # retry after a fresh randomized timeout
+
+    def _become_leader(self, term: int) -> None:
+        self.role = Role.LEADER
+        self.leader_hint = self.id
+        self.became_leader += 1
+        last = self.log.last_index()
+        self._next_index = {peer: last + 1 for peer in self.peers}
+        self._match_index = {peer: 0 for peer in self.peers}
+        self._sent_index = {peer: last for peer in self.peers}
+        self._repairing = set()
+        self._catchup_promises = []
+        self.rt.spawn(self._batcher(term), name=f"{self.id}:batcher@{term}")
+        if self.peers:
+            self.rt.spawn(self._heartbeat_loop(term), name=f"{self.id}:heartbeats@{term}")
+
+    def _check_reply_term(self, rpc: RpcEvent) -> None:
+        if rpc.ok and isinstance(rpc.reply, dict):
+            self._observe_term(rpc.reply.get("term", 0), leader=None)
+
+    def _observe_term(self, term: int, leader: Optional[str]) -> None:
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+            if self.role != Role.FOLLOWER:
+                self.role = Role.FOLLOWER
+                if self._step_down is not None and not self._step_down.ready():
+                    self._step_down.set(True, now=self.rt.now)
+        if leader is not None:
+            self.leader_hint = leader
+
+    # ==================================================================
+    # Leader: batching and replication
+    # ==================================================================
+    def _batcher(self, term: int) -> Generator:
+        cfg = self.config
+        while self._leading(term):
+            if not self._pending_ops:
+                self._pending_signal = ValueEvent(name=f"{self.id}:pending")
+                yield self._pending_signal.wait(timeout_ms=cfg.heartbeat_interval_ms)
+                if not self._pending_ops:
+                    continue
+            batch: List[_PendingOp] = []
+            while self._pending_ops and len(batch) < cfg.batch_max_entries:
+                batch.append(self._pending_ops.popleft())
+            if not self._leading(term):
+                self._fail_batch(batch)
+                return
+            first = self.log.last_index() + 1
+            entries: List[LogEntry] = []
+            for offset, pending in enumerate(batch):
+                entry = LogEntry.sized(term, first + offset, pending.op)
+                self.log.append(entry)
+                entries.append(entry)
+                self._completions[entry.index] = pending.done
+            last = entries[-1].index
+
+            build_cost = cfg.append_base_cost_ms + (
+                len(entries) * cfg.replicate_entry_cost_ms * (1 + len(self.peers))
+            )
+            yield self.rt.compute(build_cost, name="batch-build")
+
+            # One quorum over {local durability} ∪ {follower acks}: commit
+            # when any majority of the *group* holds the batch. This is
+            # Figure 2's "2/3" wait — and it even tolerates the leader's
+            # own disk being the slow member.
+            self.node.wal.append(entries_size(entries))
+            local_sync = self.node.wal.sync()
+            quorum = QuorumEvent(
+                self.majority,
+                n_total=len(self.group),
+                classify=self._classify_append,
+                name=f"{self.id}:repl@{first}-{last}",
+            )
+            quorum.add(local_sync)
+            for peer in self.peers:
+                if peer not in self._repairing and self._sent_index[peer] == first - 1:
+                    self._sent_index[peer] = last
+                    quorum.add(self._send_append(peer, first - 1, entries, term))
+                else:
+                    quorum.add(self._catchup_promise(peer, last))
+                    self._ensure_repair(peer, term)
+            if cfg.discard_on_quorum:
+                quorum.subscribe(self._discard_outstanding)
+
+            commit_gate = quorum
+            yield commit_gate.wait(timeout_ms=cfg.append_rpc_timeout_ms)
+            stalls = 0
+            while not commit_gate.ready() and self._leading(term):
+                # Quorum is late: push repair at whoever has not acked.
+                for peer in self.peers:
+                    if self._match_index[peer] < last:
+                        self._ensure_repair(peer, term)
+                yield commit_gate.wait(timeout_ms=cfg.append_rpc_timeout_ms)
+                stalls += 1
+                if stalls > 40:
+                    break  # let client timeouts surface the stall
+            if not self._leading(term):
+                self._fail_batch(batch)
+                return
+            if commit_gate.ready():
+                self.commit_index = max(self.commit_index, last)
+                self.batches_committed += 1
+                yield from self._apply_committed()
+
+    def _classify_append(self, child: Event) -> bool:
+        if isinstance(child, RpcEvent):
+            return child.ok and bool(child.reply.get("success"))
+        return True  # catch-up promises only ever trigger on success
+
+    def _discard_outstanding(self, quorum_event) -> None:
+        for child in quorum_event.outstanding():
+            if isinstance(child, RpcEvent) and child.cancel_send is not None:
+                child.cancel_send()
+
+    def _send_append(
+        self, peer: str, prev_index: int, entries: List[LogEntry], term: int
+    ) -> RpcEvent:
+        payload = {
+            "term": term,
+            "leader": self.id,
+            "prev_index": prev_index,
+            "prev_term": self.log.term_at(prev_index) or 0,
+            "entries": entries,
+            "commit": self.commit_index,
+        }
+        last_sent = entries[-1].index if entries else prev_index
+        rpc = self.ep.call(
+            peer, "append_entries", payload, size_bytes=entries_size(entries) + 64
+        )
+        rpc.subscribe(
+            lambda ev, _peer=peer, _last=last_sent, _term=term: self._on_append_reply(
+                _peer, ev, _last, _term
+            )
+        )
+        return rpc
+
+    def _on_append_reply(self, peer: str, rpc: RpcEvent, last_sent: int, term: int) -> None:
+        if not self._leading(term):
+            return
+        if not rpc.ok:
+            # Send failed outright (e.g. bounded-buffer overflow): the
+            # direct stream is broken at whatever was last acked.
+            self._mark_stream_broken(peer, term)
+            return
+        if not isinstance(rpc.reply, dict):
+            return
+        reply = rpc.reply
+        self._observe_term(reply.get("term", 0), leader=None)
+        if not self._leading(term):
+            return
+        if reply.get("success"):
+            match = reply.get("match", last_sent)
+            if match > self._match_index[peer]:
+                self._match_index[peer] = match
+                self._next_index[peer] = match + 1
+                self._fire_catchup_promises(peer)
+        else:
+            hint = reply.get("hint", 0)
+            self._next_index[peer] = max(1, min(self._next_index[peer], hint + 1))
+            self._mark_stream_broken(peer, term)
+
+    def _mark_stream_broken(self, peer: str, term: int) -> None:
+        self._sent_index[peer] = min(self._sent_index[peer], self._match_index[peer])
+        self._ensure_repair(peer, term)
+
+    def _catchup_promise(self, peer: str, target_index: int) -> Event:
+        promise = Event(name=f"catchup:{peer}@{target_index}", source=peer)
+        if self._match_index.get(peer, 0) >= target_index:
+            promise.trigger(self.rt.now)
+        else:
+            self._catchup_promises.append((peer, target_index, promise))
+        return promise
+
+    def _fire_catchup_promises(self, peer: str) -> None:
+        match = self._match_index.get(peer, 0)
+        remaining = []
+        for entry_peer, target, promise in self._catchup_promises:
+            if entry_peer == peer and match >= target:
+                promise.trigger(self.rt.now)
+            elif not promise.ready():
+                remaining.append((entry_peer, target, promise))
+        self._catchup_promises = remaining
+
+    # ------------------------------------------------------------------
+    # Repair: background catch-up of lagging followers
+    # ------------------------------------------------------------------
+    def _ensure_repair(self, peer: str, term: int) -> None:
+        if peer in self._repairing or not self._leading(term):
+            return
+        self._repairing.add(peer)
+        self.repairs_started += 1
+        self.rt.spawn(
+            self._repair_loop(peer, term),
+            name=f"{self.id}:repair:{peer}",
+            dedication=peer,
+        )
+
+    def _repair_loop(self, peer: str, term: int) -> Generator:
+        cfg = self.config
+        try:
+            while self._leading(term) and self._match_index[peer] < self.log.last_index():
+                next_index = self._next_index[peer]
+                if next_index <= self.log.base_index:
+                    # The peer is behind the snapshot base: entry replay is
+                    # impossible (those entries are compacted) — ship the
+                    # snapshot instead, still only blocking this stream.
+                    ok = yield from self._send_snapshot(peer, term)
+                    if not ok:
+                        yield self.rt.sleep(cfg.heartbeat_interval_ms)
+                    continue
+                last = min(self.log.last_index(), next_index + cfg.repair_batch_entries - 1)
+                if next_index > last:
+                    break
+                entries, disk_bytes, _misses = self.log.slice_cached(next_index, last)
+                if disk_bytes > 0:
+                    # Evicted from the entry cache: read from disk *in this
+                    # coroutine only* — nothing else blocks (vs TiDB).
+                    read = self.node.wal.read(disk_bytes)
+                    yield read.wait()
+                    if not self._leading(term):
+                        return
+                rpc = self._send_append(peer, next_index - 1, entries, term)
+                result = yield rpc.wait(timeout_ms=cfg.append_rpc_timeout_ms)
+                if result.timed_out or not rpc.ok:
+                    yield self.rt.sleep(cfg.heartbeat_interval_ms)
+                    continue
+                if not rpc.reply.get("success") and self._next_index[peer] >= next_index:
+                    # Mismatch hint was applied by the reply handler; if it
+                    # did not move us back, step back one to make progress.
+                    self._next_index[peer] = max(1, next_index - 1)
+        finally:
+            self._repairing.discard(peer)
+            # Resume the direct stream from wherever repair got the peer.
+            self._sent_index[peer] = max(
+                self._sent_index[peer], self._match_index[peer]
+            )
+
+    # ------------------------------------------------------------------
+    # Heartbeats
+    # ------------------------------------------------------------------
+    def _heartbeat_loop(self, term: int) -> Generator:
+        cfg = self.config
+        while self._leading(term):
+            if cfg.read_mode == "lease" and self.peers:
+                # The lease rides the heartbeat cadence: a quorum of probe
+                # acks extends it from the probe's *send* time.
+                sent_at = self.rt.now
+                lease_call = QuorumCall(
+                    self.ep,
+                    self.peers,
+                    "read_probe",
+                    {"term": term, "leader": self.id},
+                    size_bytes=32,
+                    quorum=self.majority - 1,
+                    classify=lambda ev, _t=term: ev.reply.get("term") == _t,
+                    discard_on_quorum=cfg.discard_on_quorum,
+                    name=f"{self.id}:lease-probe",
+                )
+                lease_call.event.subscribe(
+                    lambda _ev, _t=sent_at, _term=term: self._extend_lease(_t, _term)
+                )
+            for peer in self.peers:
+                self.ep.notify(
+                    peer,
+                    "heartbeat",
+                    {
+                        "term": term,
+                        "leader": self.id,
+                        "commit": self.commit_index,
+                        # Self-reported load: how many client ops await
+                        # batching. Followers' detectors read this.
+                        "pending": len(self._pending_ops),
+                    },
+                    size_bytes=32,
+                )
+            yield self.rt.sleep(cfg.heartbeat_interval_ms)
+
+    # ==================================================================
+    # Apply
+    # ==================================================================
+    def _apply_committed(self) -> Generator:
+        if self._applying:
+            return
+        self._applying = True
+        try:
+            while self.last_applied < self.commit_index:
+                take = min(self.commit_index - self.last_applied, 128)
+                yield self.rt.compute(
+                    take * self.config.apply_cost_ms, name="apply"
+                )
+                for _ in range(take):
+                    self.last_applied += 1
+                    entry = self.log.entry_at(self.last_applied)
+                    result = self.kv.apply(entry.op)
+                    done = self._completions.pop(self.last_applied, None)
+                    if done is not None and not done.ready():
+                        done.set({"ok": True, "result": result}, now=self.rt.now)
+            self._maybe_compact()
+        finally:
+            self._applying = False
+
+    def _fail_batch(self, batch: List[_PendingOp]) -> None:
+        for pending in batch:
+            if not pending.done.ready():
+                pending.done.set(
+                    {"ok": False, "redirect": self.leader_hint}, now=self.rt.now
+                )
+
+    # ==================================================================
+    # RPC handlers
+    # ==================================================================
+    def _on_append_entries(self, payload: Dict[str, Any], src: str) -> Generator:
+        cfg = self.config
+        term = payload["term"]
+        if term < self.term:
+            return {"term": self.term, "success": False, "hint": self.log.last_index()}
+        self._observe_term(term, leader=payload["leader"])
+        if payload["leader"] != self.suspected_leader:
+            self._poke_heartbeat()
+
+        # Serialize appends in arrival order: concurrent handlers chain on
+        # the append gate so the log and WAL see them sequentially.
+        previous_gate = self._append_gate
+        my_gate = Event(name=f"{self.id}:append-gate")
+        self._append_gate = my_gate
+        try:
+            if not previous_gate.ready():
+                yield previous_gate.wait()
+            entries: List[LogEntry] = payload["entries"]
+            yield self.rt.compute(
+                cfg.append_base_cost_ms + cfg.append_entry_cost_ms * len(entries),
+                name="append",
+            )
+            if not self.log.matches(payload["prev_index"], payload["prev_term"]):
+                if self.log.last_index() < payload["prev_index"]:
+                    hint = self.log.last_index()
+                else:
+                    hint = max(0, payload["prev_index"] - 1)
+                return {"term": self.term, "success": False, "hint": hint}
+            changed = self.log.append_or_overwrite(entries)
+            if changed > 0:
+                new_entries = entries[-changed:]
+                self.node.wal.append(entries_size(new_entries))
+                sync = self.node.wal.sync()
+                yield sync.wait()
+            yield from self._advance_commit(payload["commit"])
+            match = entries[-1].index if entries else payload["prev_index"]
+            return {"term": self.term, "success": True, "match": match}
+        finally:
+            my_gate.trigger(self.rt.now)
+
+    def _on_heartbeat(self, payload: Dict[str, Any], src: str) -> Generator:
+        term = payload["term"]
+        if term < self.term:
+            return None
+        self._observe_term(term, leader=payload["leader"])
+        self.last_heartbeat_at = self.rt.now
+        self.last_leader_pending = payload.get("pending", 0)
+        if payload["leader"] != self.suspected_leader:
+            self._poke_heartbeat()
+        yield from self._advance_commit(payload["commit"])
+        return None
+
+    def _advance_commit(self, leader_commit: int) -> Generator:
+        target = min(leader_commit, self.log.last_index())
+        if target > self.commit_index:
+            self.commit_index = target
+        yield from self._apply_committed()
+
+    def _on_request_vote(self, payload: Dict[str, Any], src: str) -> Generator:
+        term = payload["term"]
+        candidate = payload["candidate"]
+        if term < self.term:
+            return {"term": self.term, "granted": False}
+        self._observe_term(term, leader=None)
+        granted = False
+        if self.voted_for in (None, candidate) and self.log.up_to_date(
+            payload["last_term"], payload["last_index"]
+        ):
+            self.voted_for = candidate
+            granted = True
+            self._poke_heartbeat()  # voting resets our own election timer
+        yield self.rt.compute(0.02, name="vote")
+        return {"term": self.term, "granted": granted}
+
+    def _on_client_request(self, payload: Dict[str, Any], src: str) -> Generator:
+        cfg = self.config
+        if self.role != Role.LEADER:
+            return {"ok": False, "redirect": self.leader_hint}
+        op = payload["op"]
+        if op[0] == "get" and cfg.read_mode != "log":
+            result = yield from self._serve_read(op)
+            return result
+        yield self.rt.compute(cfg.client_op_cost_ms, name="client-op")
+        if self.role != Role.LEADER:
+            return {"ok": False, "redirect": self.leader_hint}
+        done = ValueEvent(name=f"{self.id}:commit-wait", source=self.id)
+        self._pending_ops.append(_PendingOp(payload["op"], done))
+        if self._pending_signal is not None and not self._pending_signal.ready():
+            self._pending_signal.set(True, now=self.rt.now)
+        result = yield done.wait(timeout_ms=cfg.client_commit_timeout_ms)
+        if result.timed_out:
+            return {"ok": False, "redirect": None}
+        return done.value
+
+    # ==================================================================
+    # Linearizable reads (read_index / lease modes)
+    # ==================================================================
+    def _serve_read(self, op) -> Generator:
+        """Serve a get from the applied state machine.
+
+        read_index: confirm leadership with a quorum probe, then wait for
+        the state machine to reach the read point. lease: skip the probe
+        while the heartbeat lease is live (the simulation has one global
+        clock, so the lease's bounded-clock-skew assumption holds
+        exactly).
+        """
+        cfg = self.config
+        read_index = self.commit_index
+        if not (cfg.read_mode == "lease" and self.rt.now < self._lease_until):
+            confirmed = yield from self._confirm_leadership()
+            if not confirmed:
+                return {"ok": False, "redirect": self.leader_hint}
+        while self.last_applied < read_index and self.role == Role.LEADER:
+            yield self.rt.sleep(0.5)
+        if self.role != Role.LEADER:
+            return {"ok": False, "redirect": self.leader_hint}
+        yield self.rt.compute(cfg.apply_cost_ms, name="read")
+        self.reads_served += 1
+        return {"ok": True, "result": self.kv.get(op[1])}
+
+    def _confirm_leadership(self) -> Generator:
+        """One read_index round: a quorum still follows this leader."""
+        if not self.peers:
+            return True
+        term = self.term
+        self.read_probes += 1
+        call = QuorumCall(
+            self.ep,
+            self.peers,
+            "read_probe",
+            {"term": term, "leader": self.id},
+            size_bytes=32,
+            quorum=self.majority - 1,
+            classify=lambda ev: ev.reply.get("term") == term,
+            discard_on_quorum=self.config.discard_on_quorum,
+            name=f"{self.id}:read-probe",
+        )
+        yield call.wait(timeout_ms=self.config.vote_rpc_timeout_ms)
+        return call.event.ready() and self._leading(term)
+
+    def _on_read_probe(self, payload: Dict[str, Any], src: str) -> Generator:
+        self._observe_term(payload["term"], leader=payload["leader"])
+        if payload["leader"] != self.suspected_leader:
+            self._poke_heartbeat()
+        yield self.rt.compute(0.01, name="read-probe")
+        return {"term": self.term}
+
+    def _extend_lease(self, probe_sent_at: float, term: int) -> None:
+        if self._leading(term):
+            self._lease_until = max(
+                self._lease_until, probe_sent_at + self.config.lease_duration_ms
+            )
+
+    # ==================================================================
+    # Log compaction and snapshot install
+    # ==================================================================
+    def _maybe_compact(self) -> None:
+        cfg = self.config
+        if cfg.snapshot_threshold_entries is None:
+            return
+        applied_above_base = self.last_applied - self.log.base_index
+        if applied_above_base < cfg.snapshot_threshold_entries:
+            return
+        new_base = self.last_applied - cfg.compaction_keep_entries
+        if new_base <= self.log.base_index:
+            return
+        # Persist the snapshot in the background (a disk write sized by
+        # the state machine); the in-memory log is compacted immediately.
+        self.node.runtime.io.write(self.kv.estimated_bytes())
+        self.log.truncate_prefix(new_base)
+        self.snapshots_taken += 1
+
+    def _send_snapshot(self, peer: str, term: int) -> Generator:
+        """Repair a follower that fell behind the snapshot base."""
+        state = self.kv.snapshot_state()
+        size = self.kv.estimated_bytes()
+        payload = {
+            "term": term,
+            "leader": self.id,
+            "last_index": self.log.base_index,
+            "last_term": self.log.base_term,
+            "state": state,
+            "size_bytes": size,
+        }
+        rpc = self.ep.call(peer, "install_snapshot", payload, size_bytes=size)
+        # Big transfers need a proportionate timeout.
+        timeout = self.config.append_rpc_timeout_ms + size / 100.0
+        result = yield rpc.wait(timeout_ms=timeout)
+        if result.timed_out or not rpc.ok or not isinstance(rpc.reply, dict):
+            return False
+        reply = rpc.reply
+        self._observe_term(reply.get("term", 0), leader=None)
+        if not self._leading(term) or not reply.get("success"):
+            return False
+        match = reply.get("match", self.log.base_index)
+        if match > self._match_index[peer]:
+            self._match_index[peer] = match
+            self._next_index[peer] = match + 1
+            self._fire_catchup_promises(peer)
+        return True
+
+    def _on_install_snapshot(self, payload: Dict[str, Any], src: str) -> Generator:
+        term = payload["term"]
+        if term < self.term:
+            return {"term": self.term, "success": False}
+        self._observe_term(term, leader=payload["leader"])
+        if payload["leader"] != self.suspected_leader:
+            self._poke_heartbeat()
+        last_index = payload["last_index"]
+        if last_index <= self.log.base_index:
+            # Stale snapshot; we already cover it.
+            return {"term": self.term, "success": True, "match": self.log.last_index()}
+        # Persist the snapshot before acknowledging it.
+        sync = self.node.runtime.io.write(payload["size_bytes"])
+        yield sync.wait()
+        self.kv.restore_state(payload["state"])
+        self.log.reset_to_snapshot(last_index, payload["last_term"])
+        self.commit_index = max(self.commit_index, last_index)
+        self.last_applied = last_index
+        self.snapshots_installed += 1
+        return {"term": self.term, "success": True, "match": last_index}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RaftNode {self.id} {self.role.value} term={self.term} "
+            f"log={self.log.last_index()} commit={self.commit_index}>"
+        )

@@ -1,0 +1,39 @@
+"""Raft value types: roles and log entries."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.kvstore import KvOp
+
+# Serialized overhead per log entry beyond the value payload.
+ENTRY_OVERHEAD_BYTES = 32
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """One replicated command."""
+
+    term: int
+    index: int
+    op: KvOp
+    size_bytes: int
+
+    @staticmethod
+    def sized(term: int, index: int, op: KvOp) -> "LogEntry":
+        """Build an entry, estimating its wire/disk size from the op."""
+        payload = sum(len(str(field)) for field in op)
+        return LogEntry(term, index, op, payload + ENTRY_OVERHEAD_BYTES)
+
+
+def entries_size(entries) -> int:
+    """Total wire size of a batch of entries."""
+    return sum(entry.size_bytes for entry in entries)

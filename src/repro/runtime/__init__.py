@@ -1,0 +1,24 @@
+"""The DepFast runtime (§3.3): coroutines, a scheduler, I/O helpers.
+
+A :class:`Runtime` instance is what one server process runs: it owns a
+cooperative :class:`Scheduler` (suspending/resuming coroutines on events),
+convenience constructors for timers and CPU work, and an
+:class:`IoHelperPool` that performs disk writes/fsyncs off the coroutine
+path. Multiple runtime instances share one simulation kernel — one per
+node in a cluster.
+"""
+
+from repro.runtime.coroutine import Coroutine, CoroutineKilled, CoroutineState
+from repro.runtime.io_helper import IoHelperPool
+from repro.runtime.runtime import Runtime
+from repro.runtime.scheduler import Scheduler, SchedulerError
+
+__all__ = [
+    "Coroutine",
+    "CoroutineKilled",
+    "CoroutineState",
+    "IoHelperPool",
+    "Runtime",
+    "Scheduler",
+    "SchedulerError",
+]

@@ -1,0 +1,51 @@
+"""I/O helper threads (§3.3).
+
+"The I/O helper threads run in the background to deal with synchronous I/O
+events, e.g., the fsync calls that ensure that all disk writes have arrived
+at disks." Here the pool submits operations to the node's simulated disk
+and hands back :class:`~repro.events.basic.DiskEvent` objects, so the
+coroutine path never blocks on the device — it *waits on an event* instead,
+which keeps the wait observable and composable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.events.basic import DiskEvent
+from repro.sim.resources import DiskResource
+
+# Cost charged for an fsync barrier on top of the bytes being flushed;
+# models command overhead / FLUSH CACHE latency on the device.
+FSYNC_BARRIER_BYTES = 4096
+
+
+class IoHelperPool:
+    """Background disk I/O on behalf of one runtime instance."""
+
+    def __init__(self, disk: DiskResource, node: Optional[str] = None):
+        self.disk = disk
+        self.node = node
+        self.inflight = 0
+        self.completed = 0
+
+    def write(self, n_bytes: int) -> DiskEvent:
+        """Buffered write of ``n_bytes``; durable only after :meth:`fsync`."""
+        return self._submit(n_bytes, "write")
+
+    def read(self, n_bytes: int) -> DiskEvent:
+        return self._submit(n_bytes, "read")
+
+    def fsync(self, pending_bytes: int = 0) -> DiskEvent:
+        """Flush ``pending_bytes`` of buffered writes to stable storage."""
+        return self._submit(pending_bytes + FSYNC_BARRIER_BYTES, "fsync")
+
+    def _submit(self, n_bytes: int, op: str) -> DiskEvent:
+        self.inflight += 1
+        event = DiskEvent(self.disk, n_bytes, op=op, source=self.node)
+        event.subscribe(self._one_done)
+        return event
+
+    def _one_done(self, _event: DiskEvent) -> None:
+        self.inflight -= 1
+        self.completed += 1

@@ -1,0 +1,48 @@
+"""Deterministic discrete-event simulation substrate.
+
+Everything above this package (the DepFast runtime, the network, disks,
+faults and the RSM implementations) runs on *virtual time*: a millisecond
+clock advanced by a single-threaded event kernel. This is the substitution
+for the paper's Azure testbed — it makes the fail-slow experiments exact and
+reproducible instead of depending on wall-clock scheduling noise.
+
+Layering note: this package is callback-based and knows nothing about
+DepFast events or coroutines. The DepFast layers (:mod:`repro.events`,
+:mod:`repro.runtime`) wrap these callbacks into waitable events.
+"""
+
+from repro.sim.kernel import Kernel, ScheduledCall, SimulationError
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    LatencyRecorder,
+    MetricsRegistry,
+    TimeWeightedValue,
+)
+from repro.sim.resources import (
+    CpuResource,
+    DiskResource,
+    MemoryResource,
+    NicResource,
+    OutOfMemoryError,
+    ResourceJob,
+)
+from repro.sim.rng import RngRegistry
+
+__all__ = [
+    "Counter",
+    "CpuResource",
+    "DiskResource",
+    "Gauge",
+    "Kernel",
+    "LatencyRecorder",
+    "MemoryResource",
+    "MetricsRegistry",
+    "NicResource",
+    "OutOfMemoryError",
+    "ResourceJob",
+    "RngRegistry",
+    "ScheduledCall",
+    "SimulationError",
+    "TimeWeightedValue",
+]

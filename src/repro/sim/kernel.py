@@ -1,0 +1,164 @@
+"""The discrete-event simulation kernel.
+
+A :class:`Kernel` owns the virtual clock and a priority queue of scheduled
+callbacks. Time is a float in *milliseconds*; nothing in the repository ever
+reads the wall clock. Ties are broken by insertion order, which — together
+with seeded RNG streams (:mod:`repro.sim.rng`) — makes every simulation run
+bit-for-bit deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. scheduling into the past)."""
+
+
+class ScheduledCall:
+    """A handle to a pending callback; supports cancellation.
+
+    Instances are ordered by (time, sequence number) so the kernel's heap
+    pops them in deterministic order.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running; safe to call repeatedly."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time:.3f} seq={self.seq} {state}>"
+
+
+class Kernel:
+    """Single-threaded virtual-time event loop.
+
+    The kernel is shared by every simulated node in a cluster: one run of a
+    distributed experiment is one kernel. Components schedule callbacks with
+    :meth:`schedule` (relative delay) or :meth:`schedule_at` (absolute time)
+    and the driver advances time with :meth:`run` / :meth:`run_until_idle`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[ScheduledCall] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ms: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` after ``delay_ms`` simulated milliseconds."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule {delay_ms}ms into the past")
+        return self.schedule_at(self.now + delay_ms, fn, *args)
+
+    def schedule_at(self, time_ms: float, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at absolute virtual time ``time_ms``."""
+        if time_ms < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time_ms} (now is t={self.now})"
+            )
+        self._seq += 1
+        call = ScheduledCall(time_ms, self._seq, fn, args)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> ScheduledCall:
+        """Run ``fn(*args)`` at the current time, after already-queued work."""
+        return self.schedule_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending callback. Returns False if none remain."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            if call.time < self.now:  # pragma: no cover - defensive
+                raise SimulationError("queue produced an event from the past")
+            self.now = call.time
+            call.fn(*call.args)
+            return True
+        return False
+
+    def run(self, until_ms: float) -> None:
+        """Advance virtual time to ``until_ms``, executing everything due.
+
+        The clock always lands exactly on ``until_ms`` even if the queue
+        drains earlier, so measurement windows have exact lengths.
+        """
+        if until_ms < self.now:
+            raise SimulationError(f"cannot run backwards to t={until_ms}")
+        self._stopped = False
+        self._running = True
+        try:
+            while self._queue and not self._stopped:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if head.time > until_ms:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if not self._stopped:
+            self.now = max(self.now, until_ms)
+
+    def run_until_idle(self, max_time_ms: float = 1e12) -> None:
+        """Run until the queue drains (or the safety bound is hit)."""
+        self._stopped = False
+        self._running = True
+        try:
+            while self._queue and not self._stopped:
+                if self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if self._queue[0].time > max_time_ms:
+                    raise SimulationError(
+                        f"simulation still busy past safety bound t={max_time_ms}"
+                    )
+                self.step()
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop a :meth:`run` in progress (from inside a callback)."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        """Number of not-yet-cancelled queued callbacks."""
+        return sum(1 for call in self._queue if not call.cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        """Virtual time of the next live callback, or None if idle."""
+        for call in sorted(self._queue):
+            if not call.cancelled:
+                return call.time
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Kernel t={self.now:.3f} pending={self.pending()}>"

@@ -1,0 +1,14 @@
+"""Storage substrate: write-ahead log, entry cache, KV state machine.
+
+Disk timing itself is modelled by :class:`repro.sim.resources.DiskResource`
+(one per node); this package provides the durable-log abstractions RSMs
+build on, including the TiDB-style :class:`EntryCache` whose evictions
+force the leader into synchronous disk reads — the first root-cause
+pattern of §2.2.
+"""
+
+from repro.storage.entry_cache import EntryCache
+from repro.storage.kvstore import KvOp, KvStore
+from repro.storage.wal import WriteAheadLog
+
+__all__ = ["EntryCache", "KvOp", "KvStore", "WriteAheadLog"]

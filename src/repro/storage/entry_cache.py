@@ -1,0 +1,53 @@
+"""In-memory cache of recent log entries (TiDB raftstore's ``EntryCache``).
+
+The leader replicates from this cache; when a follower lags behind the
+cache's retention window the leader must read the evicted entries back
+from disk. In TiDB that read happens *synchronously on the single
+raftstore thread*, blocking every region the thread serves — the first
+root-cause pattern of §2.2. The cache itself just answers hit/miss; the
+blocking behaviour lives in the baseline implementation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional, Tuple
+
+
+class EntryCache:
+    """Bounded index→entry cache evicting the oldest indices first."""
+
+    def __init__(self, max_entries: int = 1024):
+        if max_entries < 1:
+            raise ValueError("cache must hold at least one entry")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[int, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(self, index: int, entry: Any) -> None:
+        """Insert an entry; evicts the lowest index when over capacity."""
+        self._entries[index] = entry
+        self._entries.move_to_end(index)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def get(self, index: int) -> Tuple[bool, Optional[Any]]:
+        """Return (hit, entry). A miss means the entry was evicted to disk."""
+        if index in self._entries:
+            self.hits += 1
+            return True, self._entries[index]
+        self.misses += 1
+        return False, None
+
+    def lowest_cached_index(self) -> Optional[int]:
+        if not self._entries:
+            return None
+        return next(iter(self._entries))
+
+    def contains_range(self, first: int, last: int) -> bool:
+        """True iff every index in [first, last] is cached."""
+        return all(index in self._entries for index in range(first, last + 1))

@@ -1,0 +1,70 @@
+"""The replicated state machine's state: a key-value store.
+
+Commands are plain tuples so they hash/compare cheaply; the store applies
+them in commit order and remembers the apply count, which tests use to
+check that replicas converge.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+# A command: ("put", key, value) | ("get", key) | ("delete", key).
+KvOp = Tuple[str, ...]
+
+
+class KvStore:
+    """Deterministic in-memory KV state machine."""
+
+    def __init__(self):
+        self._data: Dict[str, Any] = {}
+        self.applied = 0
+
+    def apply(self, op: KvOp) -> Optional[Any]:
+        """Apply one committed command; returns the op's result."""
+        kind = op[0]
+        if kind == "put":
+            _, key, value = op
+            self._data[key] = value
+            result = None
+        elif kind == "get":
+            _, key = op
+            result = self._data.get(key)
+        elif kind == "delete":
+            _, key = op
+            result = self._data.pop(key, None)
+        elif kind == "noop":
+            result = None
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+        self.applied += 1
+        return result
+
+    def get(self, key: str) -> Optional[Any]:
+        """Local read (not linearizable; use the service for client reads)."""
+        return self._data.get(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def checksum(self) -> int:
+        """Order-insensitive digest of the state, for replica comparison."""
+        return hash(frozenset((k, repr(v)) for k, v in self._data.items()))
+
+    # ------------------------------------------------------------------
+    # Snapshots (log compaction support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """A self-contained copy of the state for snapshot transfer."""
+        return {"data": dict(self._data), "applied": self.applied}
+
+    def restore_state(self, state: dict) -> None:
+        """Replace the whole state with a received snapshot."""
+        self._data = dict(state["data"])
+        self.applied = state["applied"]
+
+    def estimated_bytes(self) -> int:
+        """Serialized size estimate, used for snapshot transfer timing."""
+        return 128 + sum(
+            len(str(key)) + len(str(value)) + 16 for key, value in self._data.items()
+        )

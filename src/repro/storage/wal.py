@@ -1,0 +1,54 @@
+"""Write-ahead log with group commit.
+
+An RSM node appends log entries and must fsync before acknowledging:
+``append`` buffers bytes, ``sync`` flushes everything buffered in one disk
+operation (group commit), returning a :class:`~repro.events.basic.DiskEvent`
+to wait on. ``append_and_sync`` is the common one-shot.
+"""
+
+from __future__ import annotations
+
+from repro.events.basic import DiskEvent
+from repro.runtime.io_helper import IoHelperPool
+
+
+class WriteAheadLog:
+    """Durable append-only log for one node."""
+
+    def __init__(self, io: IoHelperPool, name: str = "wal"):
+        self.io = io
+        self.name = name
+        self.buffered_bytes = 0
+        self.durable_bytes = 0
+        self.appended_entries = 0
+        self.syncs = 0
+
+    def append(self, n_bytes: int) -> None:
+        """Buffer an entry; not durable until :meth:`sync` completes."""
+        if n_bytes < 0:
+            raise ValueError(f"negative entry size {n_bytes}")
+        self.buffered_bytes += n_bytes
+        self.appended_entries += 1
+
+    def sync(self) -> DiskEvent:
+        """Flush all buffered bytes (group commit); wait on the result."""
+        flushing = self.buffered_bytes
+        self.buffered_bytes = 0
+        self.syncs += 1
+        event = self.io.fsync(pending_bytes=flushing)
+        event.subscribe(lambda _ev: self._mark_durable(flushing))
+        return event
+
+    def append_and_sync(self, n_bytes: int) -> DiskEvent:
+        """Append one entry and immediately flush it."""
+        self.append(n_bytes)
+        return self.sync()
+
+    def read(self, n_bytes: int) -> DiskEvent:
+        """Read ``n_bytes`` of old log data back from disk (cache miss path)."""
+        if n_bytes < 0:
+            raise ValueError(f"negative read size {n_bytes}")
+        return self.io.read(n_bytes)
+
+    def _mark_durable(self, n_bytes: int) -> None:
+        self.durable_bytes += n_bytes

@@ -1,0 +1,45 @@
+"""Runtime verification and trace analysis (§3.3).
+
+Because every blocking point in DepFast is an event, the scheduler can
+record *who waited on whom, for how long, under what quorum*. This package
+turns those records into:
+
+* the **slowness propagation graph** (SPG, Figure 2) — a node-granularity
+  digraph whose edges are waiting-for relations, green for quorum waits
+  and red for single-event waits (:mod:`repro.trace.spg`);
+* a **fail-slow tolerance checker** that verifies the paper's code-level
+  definition — "code that only uses QuorumEvent and has no other
+  [inter-node] waiting points is fail-slow fault-tolerant code"
+  (:mod:`repro.trace.verify`);
+* **slowness attribution** — how much wait time each peer contributed to a
+  node, exposing propagation quantitatively (:mod:`repro.trace.analysis`).
+"""
+
+from repro.trace.analysis import slowness_attribution, wait_time_by_kind
+from repro.trace.breakdown import busiest_waits, node_wait_breakdown, render_breakdown
+from repro.trace.models import (
+    expected_quorum_wait,
+    impact_radius_table,
+    prob_quorum_delayed,
+)
+from repro.trace.spg import SpgEdge, build_spg, render_spg
+from repro.trace.tracepoints import Tracer, WaitRecord
+from repro.trace.verify import ToleranceReport, check_fail_slow_tolerance
+
+__all__ = [
+    "SpgEdge",
+    "ToleranceReport",
+    "Tracer",
+    "WaitRecord",
+    "build_spg",
+    "busiest_waits",
+    "check_fail_slow_tolerance",
+    "expected_quorum_wait",
+    "impact_radius_table",
+    "node_wait_breakdown",
+    "prob_quorum_delayed",
+    "render_breakdown",
+    "render_spg",
+    "slowness_attribution",
+    "wait_time_by_kind",
+]

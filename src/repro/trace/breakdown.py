@@ -1,0 +1,66 @@
+"""Wait-time breakdowns: where a node's coroutines spend their time.
+
+§5: "We are also working on providing more observability through the
+event interface." Since every suspension is a traced event, a node's
+latency profile decomposes exactly into its wait kinds — quorum
+(replication), disk, CPU queueing, timers — with no extra instrumentation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.trace.tracepoints import WaitRecord
+
+
+def node_wait_breakdown(
+    records: Iterable[WaitRecord], node: str
+) -> Dict[str, Tuple[float, float]]:
+    """Per event kind: (total wait ms, share of the node's total waiting).
+
+    Sleeps/heartbeat timers are idle time, not latency, so callers often
+    drop the "timer" row; it is reported for completeness.
+    """
+    totals: Dict[str, float] = {}
+    for record in records:
+        if record.node != node:
+            continue
+        totals[record.event_kind] = totals.get(record.event_kind, 0.0) + record.waited_ms
+    grand_total = sum(totals.values())
+    if grand_total == 0.0:
+        return {}
+    return {
+        kind: (total, total / grand_total) for kind, total in sorted(totals.items())
+    }
+
+
+def busiest_waits(
+    records: Iterable[WaitRecord], node: str, top: int = 5
+) -> List[Tuple[str, int, float]]:
+    """The node's hottest wait points: (event name, count, total ms)."""
+    by_name: Dict[str, Tuple[int, float]] = {}
+    for record in records:
+        if record.node != node:
+            continue
+        count, total = by_name.get(record.event_name, (0, 0.0))
+        by_name[record.event_name] = (count + 1, total + record.waited_ms)
+    ranked = sorted(by_name.items(), key=lambda item: item[1][1], reverse=True)
+    return [(name, count, total) for name, (count, total) in ranked[:top]]
+
+
+def render_breakdown(records: Iterable[WaitRecord], node: str) -> str:
+    """Human-readable wait profile for one node."""
+    records = list(records)
+    breakdown = node_wait_breakdown(records, node)
+    lines = [f"wait profile of {node}:"]
+    if not breakdown:
+        lines.append("  (no recorded waits)")
+        return "\n".join(lines)
+    for kind, (total, share) in sorted(
+        breakdown.items(), key=lambda item: item[1][0], reverse=True
+    ):
+        lines.append(f"  {kind:<12} {total:>12.1f} ms  ({share * 100:5.1f}%)")
+    lines.append("hottest wait points:")
+    for name, count, total in busiest_waits(records, node):
+        lines.append(f"  {name:<40} x{count:<7} {total:>12.1f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Probability models for transient fail-slow events (§3.3).
+
+"We plan to extend the analysis to support more advanced and versatile
+analysis by integrating the probability models that consider transient
+fail-slow events."
+
+The model: each of ``n`` replicas answers a broadcast; independently, with
+probability ``p`` a replica is transiently slow for this request, adding
+``delay`` to its base response time. A ``QuorumEvent`` wait completes at
+the k-th order statistic of the responses, so:
+
+* the wait exceeds the fast path iff fewer than ``k`` replicas are fast —
+  a binomial tail that shrinks combinatorially with the quorum's slack
+  ``n - k``;
+* a single-event (1/1) wait is the k = n = 1 special case: it eats every
+  transient;
+* an all-replica wait (k = n, the baselines' checkpoint pattern) is hit
+  whenever *any* replica is slow: ``1 - (1-p)^n`` grows with n.
+
+These closed forms quantify why QuorumEvent bounds the impact radius of
+transient fail-slow events; ``benchmarks/bench_transient_model.py``
+validates them against the simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def _check_kn(n: int, k: int) -> None:
+    if n < 1:
+        raise ValueError("need at least one replica")
+    if not 1 <= k <= n:
+        raise ValueError(f"quorum k={k} must be in [1, {n}]")
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p}")
+
+
+def prob_quorum_delayed(n: int, k: int, p: float) -> float:
+    """P(the k-of-n quorum wait is delayed by a transient).
+
+    The wait is slow iff fewer than k replicas are fast; each replica is
+    fast with probability 1 - p, independently.
+    """
+    _check_kn(n, k)
+    _check_p(p)
+    q_fast = 1.0 - p
+    return sum(
+        math.comb(n, j) * q_fast**j * p ** (n - j) for j in range(k)
+    )
+
+
+def expected_quorum_wait(
+    n: int, k: int, p: float, base_ms: float, delay_ms: float
+) -> float:
+    """E[wait] for the two-point latency model."""
+    if base_ms < 0 or delay_ms < 0:
+        raise ValueError("latencies must be >= 0")
+    return base_ms + delay_ms * prob_quorum_delayed(n, k, p)
+
+
+def quorum_wait_percentile(
+    n: int, k: int, p: float, base_ms: float, delay_ms: float, percentile: float
+) -> float:
+    """The given percentile of the two-point quorum-wait distribution."""
+    if not 0 <= percentile <= 100:
+        raise ValueError("percentile must be in [0, 100]")
+    slow_probability = prob_quorum_delayed(n, k, p)
+    if percentile / 100.0 <= 1.0 - slow_probability:
+        return base_ms
+    return base_ms + delay_ms
+
+
+def kth_order_statistic_cdf(per_replica_cdf: Sequence[float], k: int) -> float:
+    """P(at least k of the replicas have responded) from per-replica CDFs.
+
+    ``per_replica_cdf[i]`` is replica i's response CDF evaluated at the
+    time of interest (replicas may be heterogeneous — e.g. one carries a
+    standing fail-slow fault). Exact O(n²) dynamic program over the
+    Poisson-binomial distribution.
+    """
+    n = len(per_replica_cdf)
+    _check_kn(n, k)
+    for value in per_replica_cdf:
+        _check_p(value)
+    # dp[j] = P(exactly j replicas responded), built replica by replica.
+    dp = [1.0] + [0.0] * n
+    for f in per_replica_cdf:
+        for j in range(n, 0, -1):
+            dp[j] = dp[j] * (1.0 - f) + dp[j - 1] * f
+        dp[0] *= 1.0 - f
+    return sum(dp[k:])
+
+
+def impact_radius_table(n: int, p: float) -> List[dict]:
+    """P(delayed) for every wait shape on an n-replica broadcast.
+
+    Rows for k = 1..n, annotated with the familiar cases: k=1 ("any one"),
+    k = majority (QuorumEvent), k = n (the baselines' all-replica wait).
+    """
+    _check_kn(n, 1)
+    majority = n // 2 + 1
+    rows = []
+    for k in range(1, n + 1):
+        label = ""
+        if k == 1:
+            label = "first response"
+        if k == majority:
+            label = "majority quorum (DepFast)"
+        if k == n:
+            label = "all replicas (checkpoint/sync wait)"
+        rows.append(
+            {
+                "k": k,
+                "n": n,
+                "label": label,
+                "p_delayed": prob_quorum_delayed(n, k, p),
+            }
+        )
+    return rows

@@ -1,0 +1,142 @@
+"""Slowness propagation graphs (Figure 2).
+
+The SPG aggregates thousands of per-coroutine wait records into a
+node-granularity digraph. Each directed edge ``A → B`` means "a coroutine
+on A waited for something B was supposed to produce". Edge color encodes
+the wait type exactly as in the paper: a wait on a basic event contributes
+a **red** edge (a single fail-slow source stalls the waiter), a wait on a
+QuorumEvent contributes a **green** edge (the waiter tolerates a slow
+minority). Labels are the ``k/n`` quorum of the wait.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import networkx as nx
+
+from repro.trace.tracepoints import WaitRecord
+
+# Event kinds whose waits tolerate a fail-slow minority.
+_QUORUM_KINDS = frozenset({"quorum"})
+# Kinds that merely combine other waits; their children decide the color.
+_TRANSPARENT_KINDS = frozenset({"and", "or"})
+
+
+class SpgEdge:
+    """Aggregated waiting-for relation between two nodes."""
+
+    __slots__ = ("src", "dst", "color", "label_counts", "count", "total_wait_ms")
+
+    def __init__(self, src: str, dst: str, color: str):
+        self.src = src
+        self.dst = dst
+        self.color = color
+        self.label_counts: Dict[str, int] = {}
+        self.count = 0
+        self.total_wait_ms = 0.0
+
+    def add_label(self, label: str) -> None:
+        self.label_counts[label] = self.label_counts.get(label, 0) + 1
+
+    @property
+    def quorum_label(self) -> str:
+        """The dominant quorum shape between this pair of nodes.
+
+        One pair can carry waits of several shapes (election rounds vs
+        replication); the figure labels the edge with the most frequent.
+        """
+        if not self.label_counts:
+            return "?"
+        return max(self.label_counts.items(), key=lambda item: item[1])[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SpgEdge {self.src}->{self.dst} {self.color} "
+            f"{self.quorum_label} x{self.count}>"
+        )
+
+
+def _edge_color(record: WaitRecord, k: int, n: int) -> str:
+    """Green iff the wait tolerates at least one slow source."""
+    if record.event_kind in _QUORUM_KINDS:
+        return "green"
+    if record.event_kind in _TRANSPARENT_KINDS and k < n:
+        # A nested quorum seen through And/Or keeps its k<n slack.
+        return "green"
+    return "red"
+
+
+def build_spg(records: Iterable[WaitRecord]) -> nx.DiGraph:
+    """Aggregate wait records into the node-granularity SPG.
+
+    Vertices are nodes (servers and clients); each directed edge carries:
+    ``color`` ('green'/'red'), ``label`` ('k/n'), ``count`` (number of
+    waits aggregated) and ``total_wait_ms``.
+
+    Parallel waits with different quorum shapes between the same pair are
+    merged conservatively: a single red wait makes the pair's edge red,
+    since one single-event wait is enough to propagate slowness.
+    """
+    edges: Dict[Tuple[str, str], SpgEdge] = {}
+    graph = nx.DiGraph()
+    for record in records:
+        if record.node is None:
+            continue
+        graph.add_node(record.node)
+        for source, k, n in record.edges:
+            if source == record.node:
+                continue  # local waits (disk, CPU, timers) are not SPG edges
+            graph.add_node(source)
+            color = _edge_color(record, k, n)
+            key = (record.node, source)
+            edge = edges.get(key)
+            if edge is None:
+                edge = SpgEdge(record.node, source, color)
+                edges[key] = edge
+            elif color == "red" and edge.color == "green":
+                # One single-event wait is enough to propagate slowness:
+                # red dominates when shapes are mixed.
+                edge.color = "red"
+            edge.add_label(f"{k}/{n}")
+            edge.count += 1
+            edge.total_wait_ms += record.waited_ms
+    for (src, dst), edge in edges.items():
+        graph.add_edge(
+            src,
+            dst,
+            color=edge.color,
+            label=edge.quorum_label,
+            count=edge.count,
+            total_wait_ms=edge.total_wait_ms,
+        )
+    return graph
+
+
+def single_wait_edges(graph: nx.DiGraph) -> List[Tuple[str, str]]:
+    """The red edges: places where one fail-slow node stalls another."""
+    return [
+        (src, dst)
+        for src, dst, data in graph.edges(data=True)
+        if data["color"] == "red"
+    ]
+
+
+def quorum_edges(graph: nx.DiGraph) -> List[Tuple[str, str]]:
+    return [
+        (src, dst)
+        for src, dst, data in graph.edges(data=True)
+        if data["color"] == "green"
+    ]
+
+
+def render_spg(graph: nx.DiGraph) -> str:
+    """ASCII rendering of the SPG, one edge per line, red edges flagged."""
+    lines = ["SPG: {} nodes, {} edges".format(graph.number_of_nodes(), graph.number_of_edges())]
+    for src, dst, data in sorted(graph.edges(data=True)):
+        marker = "!" if data["color"] == "red" else " "
+        lines.append(
+            f" {marker} {src} -> {dst}  [{data['color']:>5}] {data['label']:>5}  "
+            f"waits={data['count']} total={data['total_wait_ms']:.1f}ms"
+        )
+    return "\n".join(lines)

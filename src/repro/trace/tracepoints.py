@@ -1,0 +1,146 @@
+"""Event trace points: the scheduler-facing instrumentation.
+
+A :class:`Tracer` receives the scheduler's hooks and materializes one
+:class:`WaitRecord` per completed wait. Records carry the waiting
+coroutine's node, the event's kind, and the event's *wait edges* — the
+``(source, k, n)`` dependencies captured at wait time — which is all the
+SPG and the tolerance checker need.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.events.base import Event
+from repro.sim.kernel import Kernel
+
+
+class WaitRecord:
+    """One completed (or timed-out) wait by one coroutine."""
+
+    __slots__ = (
+        "coro_name",
+        "node",
+        "event_kind",
+        "event_name",
+        "edges",
+        "started_at",
+        "ended_at",
+        "timed_out",
+        "dedication",
+    )
+
+    def __init__(
+        self,
+        coro_name: str,
+        node: Optional[str],
+        event_kind: str,
+        event_name: str,
+        edges: List[Tuple[str, int, int]],
+        started_at: float,
+        ended_at: float,
+        timed_out: bool,
+        dedication: Optional[str] = None,
+    ):
+        self.coro_name = coro_name
+        self.node = node
+        self.event_kind = event_kind
+        self.event_name = event_name
+        self.edges = edges
+        self.started_at = started_at
+        self.ended_at = ended_at
+        self.timed_out = timed_out
+        # The waiting coroutine's dedication (see Coroutine): waits by a
+        # per-peer stream on its own peer are exempt from the tolerance
+        # check because their impact radius is that peer alone.
+        self.dedication = dedication
+
+    @property
+    def waited_ms(self) -> float:
+        return self.ended_at - self.started_at
+
+    def is_inter_node(self) -> bool:
+        """True if any dependency crosses to a different node."""
+        return any(source != self.node for source, _k, _n in self.edges)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<WaitRecord {self.node}/{self.coro_name} on {self.event_kind} "
+            f"{self.waited_ms:.2f}ms edges={self.edges}>"
+        )
+
+
+class Tracer:
+    """Collects wait records from every runtime in a cluster.
+
+    One tracer is shared by all runtime instances — "multiple DepFast
+    runtime instances will work together for the tracing" (§3.3).
+    """
+
+    def __init__(self, kernel: Kernel, enabled: bool = True):
+        self.kernel = kernel
+        self.enabled = enabled
+        self.records: List[WaitRecord] = []
+        # (caller_node, callee_node, method, latency_ms, completed_at):
+        # per-RPC latencies reported by the RPC layer. Unlike wait records
+        # these cover *every* reply — including replies from quorum
+        # stragglers nobody waited on — which is what per-peer slowness
+        # detection needs.
+        self.rpc_latencies: List[Tuple[str, str, str, float, float]] = []
+        self.spawned = 0
+        self.finished = 0
+        self._open_waits: Dict[int, Tuple[Event, float]] = {}
+
+    # ------------------------------------------------------------------
+    # Scheduler hooks
+    # ------------------------------------------------------------------
+    def on_spawn(self, coro, now: float) -> None:
+        self.spawned += 1
+
+    def on_wait_start(self, coro, event: Event, now: float, timeout_ms) -> None:
+        if not self.enabled:
+            return
+        # Edges are captured at wait start: QuorumEvents may gain children
+        # afterwards, but DepFast code attaches children before waiting.
+        self._open_waits[id(coro)] = (event, now)
+
+    def on_wait_end(self, coro, event: Event, now: float, timed_out: bool) -> None:
+        if not self.enabled:
+            return
+        opened = self._open_waits.pop(id(coro), None)
+        started_at = opened[1] if opened is not None else now
+        self.records.append(
+            WaitRecord(
+                coro_name=coro.name,
+                node=coro.node,
+                event_kind=event.kind,
+                event_name=event.name,
+                edges=event.wait_edges(),
+                started_at=started_at,
+                ended_at=now,
+                timed_out=timed_out,
+                dedication=getattr(coro, "dedication", None),
+            )
+        )
+
+    def on_finish(self, coro, now: float) -> None:
+        self.finished += 1
+        self._open_waits.pop(id(coro), None)
+
+    def on_rpc_complete(
+        self, node: str, peer: str, method: str, latency_ms: float, now: float
+    ) -> None:
+        if self.enabled:
+            self.rpc_latencies.append((node, peer, method, latency_ms, now))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def waits_from(self, node: str) -> List[WaitRecord]:
+        return [record for record in self.records if record.node == node]
+
+    def inter_node_waits(self) -> List[WaitRecord]:
+        return [record for record in self.records if record.is_inter_node()]
+
+    def clear(self) -> None:
+        self.records.clear()

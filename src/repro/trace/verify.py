@@ -1,0 +1,122 @@
+"""The fail-slow tolerance checker.
+
+Implements the paper's code-level definition (§3.1): *"we define code that
+only uses QuorumEvent and has no other waiting points as fail-slow
+fault-tolerant code"* — operationally, every **inter-node wait inside a
+replica group** must go through a quorum that tolerates at least one slow
+member (k < n). Waits crossing group boundaries (client → leader) are
+allowed but reported, because they are exactly the residual red edges of
+Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.trace.tracepoints import WaitRecord
+
+
+class Violation:
+    """One wait that breaks the fail-slow tolerance property."""
+
+    __slots__ = ("record", "source", "reason")
+
+    def __init__(self, record: WaitRecord, source: str, reason: str):
+        self.record = record
+        self.source = source
+        self.reason = reason
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Violation {self.record.node}->{self.source}: {self.reason}>"
+
+
+class ToleranceReport:
+    """Outcome of checking a trace against the tolerance property."""
+
+    def __init__(
+        self,
+        violations: List[Violation],
+        boundary_waits: List[Tuple[str, str]],
+        checked_waits: int,
+        dedicated_waits: int = 0,
+    ):
+        self.violations = violations
+        self.boundary_waits = boundary_waits
+        self.checked_waits = checked_waits
+        self.dedicated_waits = dedicated_waits
+
+    @property
+    def tolerant(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        status = "PASS" if self.tolerant else "FAIL"
+        lines = [
+            f"fail-slow tolerance: {status} "
+            f"({self.checked_waits} inter-node waits checked, "
+            f"{len(self.violations)} violations, "
+            f"{len(self.boundary_waits)} group-boundary waits, "
+            f"{self.dedicated_waits} dedicated-stream waits)"
+        ]
+        for violation in self.violations[:20]:
+            lines.append(
+                f"  VIOLATION {violation.record.node} -> {violation.source}: "
+                f"{violation.reason} (event {violation.record.event_name!r})"
+            )
+        return "\n".join(lines)
+
+
+def check_fail_slow_tolerance(
+    records: Iterable[WaitRecord],
+    groups: Sequence[Sequence[str]],
+) -> ToleranceReport:
+    """Check every inter-node wait against the quorum-only rule.
+
+    ``groups`` lists the replica groups (e.g. ``[["s1","s2","s3"]]``).
+    Within a group, a wait must satisfy k < n — waiting on *all* members
+    (k == n), or on a single member (1/1 basic event), propagates any one
+    member's slowness. Between groups (clients, cross-shard), waits are
+    collected as ``boundary_waits`` rather than violations.
+    """
+    group_of: Dict[str, int] = {}
+    for group_index, members in enumerate(groups):
+        for member in members:
+            if member in group_of:
+                raise ValueError(f"node {member!r} appears in two groups")
+            group_of[member] = group_index
+
+    violations: List[Violation] = []
+    boundary: List[Tuple[str, str]] = []
+    checked = 0
+    dedicated = 0
+    for record in records:
+        if record.node is None:
+            continue
+        for source, k, n in record.edges:
+            if source == record.node:
+                continue
+            checked += 1
+            same_group = (
+                record.node in group_of
+                and source in group_of
+                and group_of[record.node] == group_of[source]
+            )
+            if not same_group:
+                boundary.append((record.node, source))
+                continue
+            if getattr(record, "dedication", None) == source:
+                # A per-peer maintenance stream (e.g. log repair) waiting
+                # on its own peer: the slowness it absorbs affects only
+                # work done on that peer's behalf.
+                dedicated += 1
+                continue
+            if record.event_kind == "quorum" and k < n:
+                continue
+            if record.event_kind in ("and", "or") and k < n:
+                continue  # nested quorum slack survives composition
+            if record.event_kind == "quorum":
+                reason = f"quorum wait requires all members ({k}/{n})"
+            else:
+                reason = f"single-event wait ({record.event_kind}, {k}/{n})"
+            violations.append(Violation(record, source, reason))
+    return ToleranceReport(violations, boundary, checked, dedicated)

@@ -1,0 +1,34 @@
+"""Sharded transactions over DepFastRaft — the paper's §5 extension.
+
+"We are working on enhancing DepFast for building different types of
+distributed systems other than RSMs, such as sharded data stores with
+distributed transaction protocols which also have complicated waiting
+conditions."
+
+This package builds that system: a sharded KV store where each shard is a
+DepFastRaft group, and cross-shard transactions run two-phase commit whose
+*waiting conditions* are exactly the complicated kind §3.2 motivates::
+
+    all_yes = QuorumEvent(n_shards of n_shards, classify=voted-yes)
+    any_no  = QuorumEvent(1 of n_shards,       classify=voted-no)
+    outcome = OrEvent(all_yes, any_no)   # commit, or abort at the FIRST no
+    yield outcome.wait(timeout)
+
+Within each shard, the prepare/commit records are ordinary replicated log
+entries — committed by the shard's majority quorum, so a fail-slow
+minority inside every shard is still tolerated end-to-end.
+"""
+
+from repro.txn.coordinator import TxnCoordinator, TxnOutcome
+from repro.txn.shard_map import ShardMap
+from repro.txn.state_machine import TxnKvStore
+from repro.txn.store import ShardedStore, deploy_sharded_store
+
+__all__ = [
+    "ShardMap",
+    "ShardedStore",
+    "TxnCoordinator",
+    "TxnKvStore",
+    "TxnOutcome",
+    "deploy_sharded_store",
+]

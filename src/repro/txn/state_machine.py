@@ -1,0 +1,118 @@
+"""The per-shard transactional state machine.
+
+Transaction records (prepare / commit / abort) ride the shard's Raft log
+like any command, so every replica makes identical lock decisions by
+applying them in log order — no extra coordination. Lock conflicts are
+decided at apply time: a prepare that hits a key locked by another live
+transaction votes "no" (presumed abort).
+
+Ops understood on top of the plain KV ops:
+
+* ``("txn_prepare", txn_id, ((key, value), ...))`` → ``("yes",)`` or
+  ``("no", holder_txn_id)``;
+* ``("txn_commit", txn_id)`` → ``("committed", n_keys)`` (``("stale",)``
+  if the txn is unknown — duplicate/late delivery is harmless);
+* ``("txn_abort", txn_id)`` → ``("aborted",)`` (idempotent).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.storage.kvstore import KvOp, KvStore
+
+
+class TxnKvStore(KvStore):
+    """KV state machine with 2PC participant state (locks + staged writes)."""
+
+    def __init__(self):
+        super().__init__()
+        # key -> txn id holding its write lock.
+        self._locks: Dict[str, str] = {}
+        # txn id -> staged {key: value}.
+        self._staged: Dict[str, Dict[str, Any]] = {}
+        self.prepares_accepted = 0
+        self.prepares_rejected = 0
+        self.commits = 0
+        self.aborts = 0
+
+    def apply(self, op: KvOp) -> Optional[Any]:
+        kind = op[0]
+        if kind == "txn_prepare":
+            return self._apply_prepare(op[1], op[2])
+        if kind == "txn_commit":
+            return self._apply_commit(op[1])
+        if kind == "txn_abort":
+            return self._apply_abort(op[1])
+        return super().apply(op)
+
+    # ------------------------------------------------------------------
+    # Transaction records
+    # ------------------------------------------------------------------
+    def _apply_prepare(self, txn_id: str, writes: Tuple[Tuple[str, Any], ...]):
+        self.applied += 1
+        if txn_id in self._staged:
+            return ("yes",)  # duplicate prepare: keep the original vote
+        for key, _value in writes:
+            holder = self._locks.get(key)
+            if holder is not None and holder != txn_id:
+                self.prepares_rejected += 1
+                return ("no", holder)
+        for key, _value in writes:
+            self._locks[key] = txn_id
+        self._staged[txn_id] = {key: value for key, value in writes}
+        self.prepares_accepted += 1
+        return ("yes",)
+
+    def _apply_commit(self, txn_id: str):
+        self.applied += 1
+        staged = self._staged.pop(txn_id, None)
+        if staged is None:
+            return ("stale",)
+        for key, value in staged.items():
+            self._data[key] = value
+            self._locks.pop(key, None)
+        self.commits += 1
+        return ("committed", len(staged))
+
+    def _apply_abort(self, txn_id: str):
+        self.applied += 1
+        staged = self._staged.pop(txn_id, None)
+        if staged is not None:
+            for key in staged:
+                self._locks.pop(key, None)
+            self.aborts += 1
+        return ("aborted",)
+
+    # ------------------------------------------------------------------
+    # Snapshots: transaction state travels with the data
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        state = super().snapshot_state()
+        state["locks"] = dict(self._locks)
+        state["staged"] = {txn: dict(writes) for txn, writes in self._staged.items()}
+        return state
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        super().restore_state(state)
+        self._locks = dict(state.get("locks", {}))
+        self._staged = {
+            txn: dict(writes) for txn, writes in state.get("staged", {}).items()
+        }
+
+    def estimated_bytes(self) -> int:
+        staged_bytes = sum(
+            len(str(k)) + len(str(v)) + 16
+            for writes in self._staged.values()
+            for k, v in writes.items()
+        )
+        return super().estimated_bytes() + staged_bytes + 32 * len(self._locks)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def locked_keys(self) -> Dict[str, str]:
+        return dict(self._locks)
+
+    def in_flight_txns(self) -> int:
+        return len(self._staged)

@@ -1,0 +1,80 @@
+"""Deployment of the sharded transactional store."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.raft.config import RaftConfig
+from repro.raft.node import RaftNode
+from repro.raft.service import deploy_depfast_raft, find_leader
+from repro.txn.coordinator import TxnCoordinator
+from repro.txn.shard_map import ShardMap
+from repro.txn.state_machine import TxnKvStore
+
+
+class ShardedStore:
+    """A deployed multi-shard store: shard map + one Raft group per shard."""
+
+    def __init__(self, cluster: Cluster, shard_map: ShardMap, groups: Dict[str, Dict[str, RaftNode]]):
+        self.cluster = cluster
+        self.shard_map = shard_map
+        self.groups = groups
+
+    def coordinator(self, node: Node, **kwargs) -> TxnCoordinator:
+        """A 2PC coordinator bound to ``node`` (usually a client node)."""
+        return TxnCoordinator(node, self.shard_map, **kwargs)
+
+    def leader_of(self, shard: str) -> Optional[RaftNode]:
+        return find_leader(self.groups[shard])
+
+    def wait_for_leaders(self, deadline_ms: float = 10_000.0) -> None:
+        """Advance the sim until every shard has elected a leader."""
+        while self.cluster.kernel.now < deadline_ms:
+            if all(self.leader_of(shard) is not None for shard in self.groups):
+                return
+            self.cluster.run(self.cluster.kernel.now + 50.0)
+        missing = [s for s in self.groups if self.leader_of(s) is None]
+        if missing:
+            raise RuntimeError(f"shards without leaders: {missing}")
+
+    def state_machines(self, shard: str) -> List[TxnKvStore]:
+        return [raft.kv for raft in self.groups[shard].values()]
+
+
+def deploy_sharded_store(
+    cluster: Cluster,
+    n_shards: int = 3,
+    replicas: int = 3,
+    config: Optional[RaftConfig] = None,
+) -> ShardedStore:
+    """Stand up ``n_shards`` DepFastRaft groups with TxnKvStore machines.
+
+    Nodes are named like Figure 2: shard 0 = s1..s3, shard 1 = s4..s6, …
+    with each shard's first member as its preferred leader.
+    """
+    if n_shards < 1 or replicas < 1 or replicas % 2 == 0:
+        raise ValueError("need >=1 shards and an odd replica count")
+    shards: Dict[str, List[str]] = {}
+    next_node = 1
+    for index in range(n_shards):
+        group = [f"s{next_node + offset}" for offset in range(replicas)]
+        next_node += replicas
+        shards[f"shard{index}"] = group
+    shard_map = ShardMap(shards)
+    groups: Dict[str, Dict[str, RaftNode]] = {}
+    for shard, group in shards.items():
+        if config is None:
+            shard_config = RaftConfig(preferred_leader=group[0])
+        else:
+            from dataclasses import replace
+
+            shard_config = replace(config, preferred_leader=group[0])
+        groups[shard] = deploy_depfast_raft(
+            cluster,
+            group,
+            config=shard_config,
+            state_machine_factory=TxnKvStore,
+        )
+    return ShardedStore(cluster, shard_map, groups)

@@ -1,0 +1,23 @@
+"""YCSB-like workload generation and closed-loop clients (§2.1).
+
+The paper drives each system with a YCSB *update* workload (writes go
+through majority replication, which is where fail-slow followers matter)
+from a few hundred closed-loop clients. This package provides the key
+distributions, the operation generator, the closed-loop driver and the
+measurement report (throughput, average latency, P99 — the three metrics
+of Figures 1 and 3).
+"""
+
+from repro.workload.distributions import UniformKeys, ZipfianKeys
+from repro.workload.driver import ClosedLoopDriver, KvServiceClient
+from repro.workload.stats import WorkloadReport
+from repro.workload.ycsb import YcsbWorkload
+
+__all__ = [
+    "ClosedLoopDriver",
+    "KvServiceClient",
+    "UniformKeys",
+    "WorkloadReport",
+    "YcsbWorkload",
+    "ZipfianKeys",
+]

@@ -1,0 +1,69 @@
+"""Key-choice distributions, YCSB-style.
+
+The zipfian generator follows the standard Gray et al. rejection-free
+construction used by YCSB: constant-time sampling after an O(n) zeta
+precomputation, with the usual scrambling left to the caller (we hash the
+rank into the key name, which serves the same purpose of spreading hot
+keys across the keyspace).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class UniformKeys:
+    """Uniform key choice over ``record_count`` records."""
+
+    def __init__(self, record_count: int, rng: random.Random):
+        if record_count < 1:
+            raise ValueError("need at least one record")
+        self.record_count = record_count
+        self.rng = rng
+
+    def next_rank(self) -> int:
+        return self.rng.randrange(self.record_count)
+
+
+class ZipfianKeys:
+    """Zipfian key choice (YCSB's default skewed distribution)."""
+
+    def __init__(self, record_count: int, rng: random.Random, theta: float = 0.99):
+        if record_count < 1:
+            raise ValueError("need at least one record")
+        if not 0 < theta < 1:
+            raise ValueError("theta must be in (0, 1)")
+        self.record_count = record_count
+        self.rng = rng
+        self.theta = theta
+        self._zetan = self._zeta(record_count, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        denominator = 1 - self._zeta2 / self._zetan
+        if denominator == 0.0:
+            # record_count <= 2: the continuous branch never applies a
+            # meaningful skew; the two explicit branches in next_rank
+            # cover ranks 0 and 1.
+            self._eta = 0.0
+        else:
+            self._eta = (1 - (2.0 / record_count) ** (1 - theta)) / denominator
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next_rank(self) -> int:
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        rank = int(self.record_count * (self._eta * u - self._eta + 1) ** self._alpha)
+        return min(rank, self.record_count - 1)
+
+
+def key_name(rank: int) -> str:
+    """Spread ranks over the keyspace (YCSB's key scrambling)."""
+    return f"user{hash(('ycsb', rank)) & 0xFFFFFFFFFFFF:012x}"

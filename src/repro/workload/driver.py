@@ -1,0 +1,157 @@
+"""Closed-loop client driver.
+
+Each simulated client is one coroutine on a client node: generate an
+operation, send it to the (believed) leader, wait for the reply, record
+the latency, repeat — the YCSB client model. Redirects and timeouts are
+handled by :class:`KvServiceClient`, which every RSM implementation in
+this repo speaks to through the same ``client_request`` RPC contract:
+
+* request payload: ``{"op": <kv op>}``
+* reply: ``{"ok": True, "result": ...}`` on success,
+  ``{"redirect": <node id or None>}`` if the callee is not the leader,
+  ``{"error": <str>}`` on failure.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.sim.metrics import LatencyRecorder
+from repro.storage.kvstore import KvOp
+from repro.workload.stats import WorkloadReport
+from repro.workload.ycsb import YcsbWorkload
+
+
+class KvServiceClient:
+    """Leader-tracking KV client bound to one client node."""
+
+    MAX_ATTEMPTS = 8
+
+    def __init__(
+        self,
+        node: Node,
+        server_ids: List[str],
+        request_timeout_ms: float = 2000.0,
+    ):
+        if not server_ids:
+            raise ValueError("need at least one server")
+        self.node = node
+        self.server_ids = list(server_ids)
+        self.request_timeout_ms = request_timeout_ms
+        self._leader_hint = self.server_ids[0]
+        self.redirects = 0
+        self.timeouts = 0
+
+    def execute(self, op: KvOp, size_bytes: int) -> Generator:
+        """Generator: run one operation; returns (ok, result)."""
+        for _attempt in range(self.MAX_ATTEMPTS):
+            target = self._leader_hint
+            event = self.node.endpoint.call(
+                target, "client_request", {"op": op}, size_bytes=size_bytes
+            )
+            result = yield event.wait(timeout_ms=self.request_timeout_ms)
+            if result.timed_out or not event.ok:
+                self.timeouts += 1
+                self._rotate_leader_hint()
+                continue
+            reply = event.reply
+            if reply.get("ok"):
+                return True, reply.get("result")
+            redirect = reply.get("redirect")
+            if redirect:
+                self.redirects += 1
+                self._leader_hint = redirect
+                continue
+            # Explicit error or leader-unknown: back off briefly and retry.
+            self.redirects += 1
+            self._rotate_leader_hint()
+            yield self.node.runtime.sleep(10.0)
+        return False, None
+
+    def _rotate_leader_hint(self) -> None:
+        index = self.server_ids.index(self._leader_hint)
+        self._leader_hint = self.server_ids[(index + 1) % len(self.server_ids)]
+
+
+class ClosedLoopDriver:
+    """Spawns N closed-loop client coroutines and records latencies."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        server_ids: List[str],
+        workload: YcsbWorkload,
+        n_clients: int = 64,
+        n_client_nodes: int = 1,
+        think_time_ms: float = 0.0,
+        request_timeout_ms: float = 2000.0,
+        client_ids: Optional[List[str]] = None,
+    ):
+        if n_clients < 1 or n_client_nodes < 1:
+            raise ValueError("need at least one client and one client node")
+        if client_ids is not None and len(client_ids) != n_client_nodes:
+            raise ValueError("client_ids must match n_client_nodes")
+        self.cluster = cluster
+        self.server_ids = list(server_ids)
+        self.workload = workload
+        self.n_clients = n_clients
+        self.think_time_ms = think_time_ms
+        self.request_timeout_ms = request_timeout_ms
+        self.recorder = LatencyRecorder("client-latency")
+        self.errors = 0
+        self.completed = 0
+        self.client_nodes: List[Node] = []
+        for i in range(n_client_nodes):
+            client_id = client_ids[i] if client_ids is not None else self._free_client_id()
+            node = cluster.add_client(client_id)
+            node.start()
+            self.client_nodes.append(node)
+
+    def _free_client_id(self) -> str:
+        """Next unused cN name (several drivers may share one cluster)."""
+        index = 1
+        while f"c{index}" in self.cluster.clients or f"c{index}" in self.cluster.nodes:
+            index += 1
+        return f"c{index}"
+
+    def start(self) -> None:
+        """Spawn all client coroutines (they run until the sim stops)."""
+        stagger_rng = self.cluster.rng.stream("client-stagger")
+        for i in range(self.n_clients):
+            node = self.client_nodes[i % len(self.client_nodes)]
+            client = KvServiceClient(
+                node, self.server_ids, request_timeout_ms=self.request_timeout_ms
+            )
+            # Staggered starts break the lockstep a simultaneous launch of
+            # identical closed-loop clients would otherwise settle into.
+            delay = stagger_rng.uniform(0.0, 20.0)
+            node.runtime.spawn(
+                self._client_loop(client, delay), name=f"client-{i}"
+            )
+
+    def _client_loop(self, client: KvServiceClient, initial_delay_ms: float) -> Generator:
+        runtime = client.node.runtime
+        if initial_delay_ms > 0:
+            yield runtime.sleep(initial_delay_ms)
+        while True:
+            op, size_bytes = self.workload.next_op()
+            started = runtime.now
+            ok, _result = yield from client.execute(op, size_bytes)
+            if ok:
+                self.completed += 1
+                self.recorder.record(runtime.now, runtime.now - started)
+            else:
+                self.errors += 1
+            if self.think_time_ms > 0:
+                yield runtime.sleep(self.think_time_ms)
+
+    def report(self, window_start_ms: float, window_end_ms: float) -> WorkloadReport:
+        return WorkloadReport.from_recorder(
+            self.recorder,
+            window_start_ms,
+            window_end_ms,
+            errors=self.errors,
+            crashed_nodes=self.cluster.crashed_nodes(),
+        )

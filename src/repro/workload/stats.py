@@ -1,0 +1,71 @@
+"""Measurement reports: throughput + latency over a steady-state window."""
+
+from __future__ import annotations
+
+from repro.sim.metrics import LatencyRecorder, LatencySummary
+
+
+class WorkloadReport:
+    """The three Figure 1/3 metrics for one run, plus bookkeeping."""
+
+    def __init__(
+        self,
+        throughput_ops_s: float,
+        latency: LatencySummary,
+        window_ms: float,
+        errors: int = 0,
+        crashed_nodes=(),
+    ):
+        self.throughput_ops_s = throughput_ops_s
+        self.latency = latency
+        self.window_ms = window_ms
+        self.errors = errors
+        self.crashed_nodes = list(crashed_nodes)
+
+    @property
+    def avg_latency_ms(self) -> float:
+        return self.latency.mean
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return self.latency.p99
+
+    @property
+    def crashed(self) -> bool:
+        return bool(self.crashed_nodes)
+
+    @classmethod
+    def from_recorder(
+        cls,
+        recorder: LatencyRecorder,
+        window_start_ms: float,
+        window_end_ms: float,
+        errors: int = 0,
+        crashed_nodes=(),
+    ) -> "WorkloadReport":
+        window_ms = window_end_ms - window_start_ms
+        if window_ms <= 0:
+            raise ValueError("measurement window must have positive length")
+        summary = recorder.summary(window_start_ms, window_end_ms)
+        throughput = summary.count / (window_ms / 1000.0)
+        return cls(throughput, summary, window_ms, errors=errors, crashed_nodes=crashed_nodes)
+
+    def normalized_to(self, baseline: "WorkloadReport") -> dict:
+        """Figure 1's normalization: this run relative to its no-fault run."""
+
+        def ratio(value: float, base: float) -> float:
+            return value / base if base > 0 else 0.0
+
+        return {
+            "throughput": ratio(self.throughput_ops_s, baseline.throughput_ops_s),
+            "avg_latency": ratio(self.avg_latency_ms, baseline.avg_latency_ms),
+            "p99_latency": ratio(self.p99_latency_ms, baseline.p99_latency_ms),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        crash = f" CRASHED={self.crashed_nodes}" if self.crashed else ""
+        return (
+            f"<WorkloadReport {self.throughput_ops_s:.0f} ops/s "
+            f"avg={self.avg_latency_ms:.2f}ms p99={self.p99_latency_ms:.2f}ms"
+            f" errs={self.errors}{crash}>"
+        )

@@ -1,0 +1,26 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Kernel
+from repro.sim.resources import CpuResource, DiskResource
+from repro.runtime.runtime import Runtime
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    return Kernel()
+
+
+@pytest.fixture
+def runtime(kernel: Kernel) -> Runtime:
+    cpu = CpuResource(kernel, base_rate=1.0)
+    disk = DiskResource(kernel, bandwidth_mbps=200.0, op_latency_ms=0.1)
+    return Runtime(kernel, node="n0", cpu=cpu, disk=disk)
+
+
+def drain(kernel: Kernel, max_time_ms: float = 1e9) -> None:
+    """Run the kernel until it has no more work."""
+    kernel.run_until_idle(max_time_ms)

@@ -1,0 +1,149 @@
+"""Unit tests for the experiment harness and report formatting."""
+
+import pytest
+
+from repro.bench.experiments import ExperimentParams, run_rsm_experiment
+from repro.bench.figure1 import shape_checks as fig1_checks
+from repro.bench.figure3 import shape_checks as fig3_checks
+from repro.bench.report import format_figure_table, format_normalized_table, max_drift
+from repro.bench.table1 import render_table1, run_table1
+from repro.bench.table1 import shape_checks as table1_checks
+from repro.sim.metrics import LatencyRecorder
+from repro.workload.stats import WorkloadReport
+
+
+def synthetic_report(tput, avg, p99, crashed=()):
+    recorder = LatencyRecorder()
+    # One second of synthetic completions shaped to hit the targets.
+    n = max(1, int(tput))
+    for i in range(n):
+        # Top 2% at the target tail so nearest-rank P99 lands inside it.
+        latency = p99 if i >= 0.98 * n else avg
+        recorder.record(completed_at=1.0 + i / n * 998.0, latency_ms=latency)
+    report = WorkloadReport.from_recorder(recorder, 0.0, 1000.0, crashed_nodes=crashed)
+    return report
+
+
+class TestExperimentParams:
+    def test_group_names(self):
+        assert ExperimentParams(group_size=3).group() == ["s1", "s2", "s3"]
+
+    def test_faulty_minority(self):
+        assert ExperimentParams(group_size=3).n_faulty() == 1
+        assert ExperimentParams(group_size=5).n_faulty() == 2
+        assert ExperimentParams(group_size=7).n_faulty() == 3
+        assert ExperimentParams(group_size=5, faulty_followers=1).n_faulty() == 1
+
+    def test_smoke_profile_is_smaller(self):
+        params = ExperimentParams()
+        smoke = params.scaled_for_smoke()
+        assert smoke.end_ms < params.end_ms
+        assert smoke.n_clients < params.n_clients
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            run_rsm_experiment("voldemort", "none")
+
+
+class TestReportFormatting:
+    def _results(self):
+        return {
+            "sys-a": {
+                "none": synthetic_report(1000, 10, 20),
+                "cpu_slow": synthetic_report(700, 15, 60),
+            },
+            "sys-b": {
+                "none": synthetic_report(2000, 5, 9),
+                "cpu_slow": synthetic_report(1000, 10, 30, crashed=["s1"]),
+            },
+        }
+
+    def test_normalized_table_contents(self):
+        text = format_normalized_table(self._results(), "throughput", title="T")
+        assert "sys-a" in text and "sys-b" in text
+        assert "0.70" in text    # 700/1000
+        assert "0.50*" in text   # crashed run flagged
+        assert "crashed" in text
+
+    def test_absolute_table_contents(self):
+        text = format_figure_table(self._results(), "throughput", unit="ops/s")
+        assert "1000.0" in text or "999" in text
+        assert "ops/s" in text
+
+    def test_missing_cells_render_dash(self):
+        results = {"sys-a": {"none": synthetic_report(100, 1, 2)}}
+        text = format_normalized_table(results, "throughput")
+        assert "-" in text
+
+    def test_max_drift(self):
+        sweeps = {
+            "none": synthetic_report(1000, 10, 20),
+            "f1": synthetic_report(950, 10, 20),
+            "f2": synthetic_report(1100, 10, 20),
+        }
+        assert max_drift(sweeps, "throughput") == pytest.approx(0.1, abs=0.02)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            format_figure_table({"a": {"none": synthetic_report(1, 1, 1)}}, "jitterbug")
+
+
+class TestShapeChecks:
+    def test_figure1_checks_detect_the_paper_shape(self):
+        results = {
+            "mongo-like": {
+                "none": synthetic_report(1000, 10, 20),
+                "cpu_slow": synthetic_report(700, 15, 70),
+            },
+            "rethink-like": {
+                "none": synthetic_report(1000, 10, 20),
+                "cpu_slow": synthetic_report(400, 12, 50, crashed=["s1"]),
+            },
+        }
+        checks = fig1_checks(results)
+        assert all(checks.values()), checks
+
+    def test_figure1_checks_fail_on_flat_results(self):
+        flat = synthetic_report(1000, 10, 20)
+        results = {"mongo-like": {"none": flat, "cpu_slow": flat}}
+        checks = fig1_checks(results)
+        assert not checks["significant_throughput_loss"]
+
+    def test_figure3_checks_band(self):
+        sweeps = {
+            "none": synthetic_report(5000, 8, 16),
+            "cpu_slow": synthetic_report(4950, 8.1, 16.2),
+        }
+        checks = fig3_checks({"3 nodes": sweeps}, band=0.05)
+        assert checks["3 nodes:throughput:within_band"]
+        bad = {
+            "none": synthetic_report(5000, 8, 16),
+            "cpu_slow": synthetic_report(3000, 12, 40),
+        }
+        checks = fig3_checks({"3 nodes": bad}, band=0.05)
+        assert not checks["3 nodes:throughput:within_band"]
+
+
+class TestTable1Harness:
+    def test_run_and_render(self):
+        effects = run_table1()
+        assert len(effects) == 6
+        text = render_table1(effects)
+        assert "cpu_slow" in text and "network_slow" in text
+        checks = table1_checks(effects)
+        assert all(checks.values()), checks
+
+    def test_cpu_probe_magnitudes(self):
+        effects = {e.fault: e for e in run_table1()}
+        assert effects["cpu_slow"].slowdown == pytest.approx(20.0)
+        assert effects["cpu_contention"].slowdown == pytest.approx(17.0)
+        assert effects["network_slow"].faulted_ms - effects["network_slow"].healthy_ms == 400.0
+
+
+class TestSmokeExperiment:
+    def test_depfast_smoke_run_produces_throughput(self):
+        params = ExperimentParams().scaled_for_smoke()
+        report = run_rsm_experiment("depfast", "none", params)
+        assert report.throughput_ops_s > 500.0
+        assert report.errors == 0
+        assert not report.crashed

@@ -1,0 +1,103 @@
+"""Tests for chain replication and its fail-slow propagation property."""
+
+import pytest
+
+from repro.chain import deploy_chain
+from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.trace.spg import build_spg, single_wait_edges
+from repro.trace.verify import check_fail_slow_tolerance
+from repro.workload.driver import ClosedLoopDriver, KvServiceClient
+from repro.workload.ycsb import YcsbWorkload
+
+CHAIN = ["s1", "s2", "s3"]
+
+
+def deploy(seed=29):
+    cluster = Cluster(seed=seed)
+    nodes = deploy_chain(cluster, CHAIN)
+    return cluster, nodes
+
+
+def run_ops(cluster, ops, servers=None):
+    node = cluster.add_client(f"cx{cluster.kernel.now:.0f}")
+    node.start()
+    client = KvServiceClient(node, servers or CHAIN)
+    results = []
+
+    def script():
+        for op in ops:
+            ok, value = yield from client.execute(op, size_bytes=64)
+            results.append((ok, value))
+
+    node.runtime.spawn(script())
+    cluster.run(until_ms=cluster.kernel.now + 20_000.0)
+    return results
+
+
+class TestChainBasics:
+    def test_write_then_read_through_chain(self):
+        cluster, nodes = deploy()
+        results = run_ops(cluster, [("put", "k", "v"), ("get", "k")])
+        assert results == [(True, None), (True, "v")]
+
+    def test_all_nodes_hold_acked_writes(self):
+        cluster, nodes = deploy()
+        results = run_ops(cluster, [("put", f"k{i}", f"v{i}") for i in range(20)])
+        assert all(ok for ok, _ in results)
+        cluster.run(until_ms=cluster.kernel.now + 1000.0)
+        checksums = {n.kv.checksum() for n in nodes.values()}
+        assert len(checksums) == 1
+
+    def test_reads_served_by_tail(self):
+        cluster, nodes = deploy()
+        run_ops(cluster, [("put", "k", "v")])
+        node = cluster.add_client("creader")
+        node.start()
+        client = KvServiceClient(node, ["s1", "s2", "s3"])  # starts at head
+        results = []
+
+        def script():
+            ok, value = yield from client.execute(("get", "k"), size_bytes=32)
+            results.append((ok, value))
+
+        node.runtime.spawn(script())
+        cluster.run(until_ms=cluster.kernel.now + 5000.0)
+        assert results == [(True, "v")]
+        assert client.redirects >= 1  # bounced from head to tail
+
+    def test_chain_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            deploy_chain(Cluster(), ["solo"])
+
+
+class TestChainFailSlowPropagation:
+    def _throughput(self, fault):
+        cluster, nodes = deploy()
+        if fault:
+            FaultInjector(cluster).inject("s2", fault)  # slow MIDDLE node
+        workload = YcsbWorkload(cluster.rng.stream("y"), record_count=1000, value_size=1000)
+        driver = ClosedLoopDriver(cluster, CHAIN, workload, n_clients=16)
+        driver.start()
+        cluster.run(until_ms=6000.0)
+        return driver.report(2000.0, 6000.0)
+
+    def test_one_slow_middle_node_throttles_the_chain(self):
+        healthy = self._throughput(None)
+        slowed = self._throughput("cpu_slow")
+        # Chain replication cannot route around the slow node: writes
+        # collapse to the slow node's pace.
+        assert slowed.throughput_ops_s < 0.5 * healthy.throughput_ops_s
+
+    def test_checker_fails_the_chain(self):
+        cluster, nodes = deploy()
+        run_ops(cluster, [("put", f"k{i}", "v") for i in range(10)])
+        report = check_fail_slow_tolerance(cluster.tracer.records, [CHAIN])
+        assert not report.tolerant
+        assert any(v.source == "s3" for v in report.violations)  # head waits tail
+
+    def test_spg_shows_red_head_to_tail_edge(self):
+        cluster, nodes = deploy()
+        run_ops(cluster, [("put", f"k{i}", "v") for i in range(10)])
+        graph = build_spg(cluster.tracer.records)
+        assert ("s1", "s3") in single_wait_edges(graph)

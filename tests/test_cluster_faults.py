@@ -1,0 +1,198 @@
+"""Tests for cluster deployment and Table 1 fault injection."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import NodeSpec
+from repro.faults.catalog import TABLE1, FaultType, fault_names
+from repro.faults.injector import FaultInjector
+from repro.faults.jitter import BackgroundJitter
+
+
+class TestCluster:
+    def test_add_nodes_and_clients(self):
+        cluster = Cluster(seed=0)
+        cluster.add_node("s1")
+        cluster.add_node("s2")
+        cluster.add_client("c1")
+        assert cluster.server_ids() == ["s1", "s2"]
+        assert cluster.node("c1").node_id == "c1"
+
+    def test_duplicate_ids_rejected(self):
+        cluster = Cluster()
+        cluster.add_node("s1")
+        with pytest.raises(ValueError):
+            cluster.add_node("s1")
+        with pytest.raises(ValueError):
+            cluster.add_client("s1")
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(KeyError):
+            Cluster().node("ghost")
+
+    def test_node_crash_is_tracked(self):
+        cluster = Cluster()
+        node = cluster.add_node("s1")
+        node.crash(reason="test")
+        assert cluster.crashed_nodes() == ["s1"]
+        assert node.crash_reason == "test"
+        node.crash()  # idempotent
+        assert node.metrics.counter("crashes").value == 1
+
+    def test_base_footprint_allocated(self):
+        cluster = Cluster()
+        node = cluster.add_node("s1", spec=NodeSpec(base_memory_fraction=0.5))
+        assert node.memory.used == node.spec.memory_bytes // 2
+
+    def test_oom_policy_crash(self):
+        cluster = Cluster()
+        node = cluster.add_node("s1", spec=NodeSpec(oom_policy="crash"))
+        node.memory.allocate(node.spec.memory_bytes)  # blow past the limit
+        cluster.run(until_ms=1.0)  # the kill is deferred one kernel step
+        assert node.crashed
+        assert "OOM" in node.crash_reason
+
+    def test_oom_policy_degrade_survives(self):
+        cluster = Cluster()
+        node = cluster.add_node("s1", spec=NodeSpec(oom_policy="degrade"))
+        node.memory.allocate(node.spec.memory_bytes)
+        assert not node.crashed
+        assert node.cpu.penalty > 1.0  # swap thrash applied instead
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(oom_policy="explode")
+        with pytest.raises(ValueError):
+            NodeSpec(base_memory_fraction=1.5)
+
+
+class TestFaultCatalog:
+    def test_table1_has_all_six_faults_plus_baseline(self):
+        assert set(fault_names()) == {
+            "cpu_slow",
+            "cpu_contention",
+            "disk_slow",
+            "disk_contention",
+            "memory_contention",
+            "network_slow",
+        }
+        assert fault_names(include_baseline=True)[0] == "none"
+        assert "none" in TABLE1
+
+    def test_paper_parameters(self):
+        assert TABLE1["cpu_slow"].param("quota") == 0.05
+        assert TABLE1["cpu_contention"].param("contender_share") == 16.0
+        assert TABLE1["network_slow"].param("delay_ms") == 400.0
+
+    def test_missing_param_raises(self):
+        with pytest.raises(KeyError):
+            TABLE1["cpu_slow"].param("nonexistent")
+
+
+class TestFaultInjector:
+    def _one_node(self):
+        cluster = Cluster()
+        node = cluster.add_node("s1")
+        return cluster, node, FaultInjector(cluster)
+
+    def test_cpu_slow_inject_and_clear(self):
+        cluster, node, injector = self._one_node()
+        injector.inject("s1", "cpu_slow")
+        assert node.cpu.quota == 0.05
+        assert injector.fault_on("s1").fault_type == FaultType.CPU_SLOW
+        injector.clear("s1")
+        assert node.cpu.quota == 1.0
+        assert injector.fault_on("s1") is None
+
+    def test_each_fault_maps_to_its_resource(self):
+        cluster, node, injector = self._one_node()
+        injector.inject("s1", "cpu_contention")
+        assert node.cpu.contender_share == 16.0
+        injector.clear("s1")
+        injector.inject("s1", "disk_slow")
+        assert node.disk.cap_fraction == TABLE1["disk_slow"].param("cap_fraction")
+        injector.clear("s1")
+        injector.inject("s1", "disk_contention")
+        assert node.disk.contender_load == TABLE1["disk_contention"].param("contender_load")
+        injector.clear("s1")
+        injector.inject("s1", "memory_contention")
+        assert node.memory.limit_bytes < node.spec.memory_bytes
+        injector.clear("s1")
+        injector.inject("s1", "network_slow")
+        assert node.nic.extra_delay_ms == 400.0
+        injector.clear("s1")
+        assert node.nic.extra_delay_ms == 0.0
+
+    def test_none_fault_is_noop(self):
+        cluster, node, injector = self._one_node()
+        injector.inject("s1", "none")
+        assert injector.fault_on("s1") is None
+
+    def test_double_injection_rejected(self):
+        cluster, node, injector = self._one_node()
+        injector.inject("s1", "cpu_slow")
+        with pytest.raises(RuntimeError):
+            injector.inject("s1", "disk_slow")
+
+    def test_unknown_fault_name(self):
+        _, _, injector = self._one_node()
+        with pytest.raises(KeyError):
+            injector.inject("s1", "gamma_rays")
+
+    def test_clear_without_fault_is_noop(self):
+        _, _, injector = self._one_node()
+        injector.clear("s1")
+
+    def test_transient_fault_appears_and_clears(self):
+        cluster, node, injector = self._one_node()
+        injector.inject_transient("s1", "cpu_slow", at_ms=100.0, duration_ms=50.0)
+        cluster.run(until_ms=120.0)
+        assert node.cpu.quota == 0.05
+        cluster.run(until_ms=200.0)
+        assert node.cpu.quota == 1.0
+        actions = [entry[3] for entry in injector.history]
+        assert actions == ["inject", "clear"]
+
+    def test_transient_needs_positive_duration(self):
+        _, _, injector = self._one_node()
+        with pytest.raises(ValueError):
+            injector.inject_transient("s1", "cpu_slow", at_ms=0.0, duration_ms=0.0)
+
+    def test_memory_contention_creates_pressure(self):
+        cluster, node, injector = self._one_node()
+        # Base footprint is 50%; cap at 55% -> pressure ~0.91 > threshold.
+        injector.inject("s1", "memory_contention")
+        assert node.memory.pressure() > 0.85
+        assert node.memory.swap_penalty() > 1.0
+        assert not node.crashed  # contention degrades, does not OOM
+
+
+class TestBackgroundJitter:
+    def test_dips_and_recovers(self):
+        cluster = Cluster(seed=3)
+        node = cluster.add_node("s1")
+        jitter = BackgroundJitter(
+            cluster,
+            ["s1"],
+            cluster.rng.stream("jitter"),
+            mean_interval_ms=50.0,
+            dip_factor=0.2,
+            mean_duration_ms=10.0,
+        )
+        jitter.start()
+        cluster.run(until_ms=2000.0)
+        jitter.stop()
+        assert jitter.dips_injected > 5
+        cluster.run(until_ms=4000.0)
+        assert node.cpu.jitter_factor == 1.0  # recovered after stop
+
+    def test_requires_targets(self):
+        cluster = Cluster()
+        with pytest.raises(ValueError):
+            BackgroundJitter(cluster, [], cluster.rng.stream("j"))
+
+    def test_dip_factor_validated(self):
+        cluster = Cluster()
+        cluster.add_node("s1")
+        with pytest.raises(ValueError):
+            BackgroundJitter(cluster, ["s1"], cluster.rng.stream("j"), dip_factor=0.0)

@@ -1,0 +1,85 @@
+"""Smoke tests: every example script runs to completion and prints sense.
+
+These import each example module and call its ``main()`` so the examples
+can't rot. The slower ones are trimmed via module attributes where the
+example exposes knobs; otherwise they run as shipped (a few seconds to a
+minute of simulated work each).
+"""
+
+import importlib
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.fixture(autouse=True)
+def _examples_on_path():
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    yield
+    sys.path.remove(str(EXAMPLES_DIR))
+
+
+def run_example(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "QuorumEvent" in out
+    assert "faster" in out
+
+
+def test_replicated_kv(capsys):
+    out = run_example("replicated_kv", capsys)
+    assert "elected leader: s1" in out
+    assert "new leader" in out
+    assert "result='python'" in out
+
+
+def test_fastpath_consensus(capsys):
+    out = run_example("fastpath_consensus", capsys)
+    assert out.count("fast ") >= 2
+    assert "slow " in out
+
+
+def test_spg_analysis(capsys):
+    out = run_example("spg_analysis", capsys)
+    assert "PASS" in out     # depfast
+    assert "FAIL" in out     # mongo-like
+    assert "2/3" in out
+
+
+def test_sharded_transactions(capsys):
+    out = run_example("sharded_transactions", capsys)
+    assert "COMMIT" in out
+    assert "ABORT (voted-no)" in out
+
+
+def test_leader_mitigation(capsys):
+    out = run_example("leader_mitigation", capsys)
+    assert "suspected s1" in out
+    assert "final leader" in out
+
+
+def test_fault_tolerance_demo(capsys):
+    out = run_example("fault_tolerance_demo", capsys)
+    assert "mongo-like" in out and "depfast" in out
+    assert "throughput drop" in out
+
+
+def test_chain_vs_quorum(capsys):
+    out = run_example("chain_vs_quorum", capsys)
+    assert "chain" in out and "depfast" in out
+    assert "FAIL" in out and "PASS" in out
+
+
+def test_paxos_kv(capsys):
+    out = run_example("paxos_kv", capsys)
+    assert "proposer: s1" in out
+    assert "new proposer" in out
+    assert "result='paxos'" in out

@@ -1,0 +1,104 @@
+"""Tests for the §3.2 fast-path/slow-path nested-event consensus round."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.raft.fastpath import (
+    FastPathAcceptor,
+    FastPathCoordinator,
+    fast_quorum_size,
+    majority_size,
+)
+
+
+def make_world(n_acceptors=4, seed=3):
+    cluster = Cluster(seed=seed)
+    coordinator_node = cluster.add_node("coord")
+    acceptors = {}
+    for i in range(n_acceptors):
+        node = cluster.add_node(f"a{i+1}")
+        acceptors[node.node_id] = FastPathAcceptor(node)
+        node.start()
+    coordinator_node.start()
+    coordinator = FastPathCoordinator(
+        coordinator_node, sorted(acceptors), timeout_ms=500.0
+    )
+    return cluster, coordinator_node, coordinator, acceptors
+
+
+def propose(cluster, node, coordinator, decree, value):
+    outcomes = []
+
+    def script():
+        outcome = yield from coordinator.propose(decree, value)
+        outcomes.append(outcome)
+
+    node.runtime.spawn(script())
+    cluster.run(until_ms=cluster.kernel.now + 5000.0)
+    assert outcomes, "proposal did not finish"
+    return outcomes[0]
+
+
+def test_quorum_sizes():
+    assert fast_quorum_size(4) == 3
+    assert fast_quorum_size(5) == 4
+    assert fast_quorum_size(3) == 3
+    assert majority_size(5) == 3
+
+
+def test_unanimous_accept_takes_fast_path():
+    cluster, node, coordinator, acceptors = make_world()
+    outcome = propose(cluster, node, coordinator, decree=1, value="X")
+    assert outcome.path == "fast"
+    assert outcome.value == "X"
+    assert outcome.fast_ok >= fast_quorum_size(4)
+
+
+def test_conflicts_push_to_slow_path():
+    cluster, node, coordinator, acceptors = make_world()
+    # Two acceptors already accepted a rival value: the fast quorum (3/4)
+    # is unreachable, "minority-plus-one-reject" (2) trips immediately.
+    acceptors["a1"].preseed(1, "RIVAL")
+    acceptors["a2"].preseed(1, "RIVAL")
+    outcome = propose(cluster, node, coordinator, decree=1, value="X")
+    assert outcome.path == "slow"
+    assert outcome.value == "X"
+    assert outcome.fast_reject >= 2
+
+
+def test_single_conflict_still_fast_with_4_acceptors():
+    cluster, node, coordinator, acceptors = make_world()
+    acceptors["a1"].preseed(1, "RIVAL")
+    outcome = propose(cluster, node, coordinator, decree=1, value="X")
+    assert outcome.path == "fast"  # 3 of 4 accepted: fast quorum met
+
+
+def test_fail_slow_acceptor_forces_timeout_then_slow_path():
+    cluster, node, coordinator, acceptors = make_world()
+    coordinator.timeout_ms = 100.0
+    # Two acceptors so slow they cannot answer within the fast window:
+    # neither fast_ok (needs 3) nor fast_reject (needs 2 rejects) fires.
+    cluster.node("a1").cpu.set_quota(0.0001)
+    cluster.node("a2").cpu.set_quota(0.0001)
+    outcome = propose(cluster, node, coordinator, decree=1, value="X")
+    # The slow path needs only a majority (3), which the two healthy
+    # acceptors cannot provide alone — but the slow round's longer wait
+    # lets the slow acceptors answer eventually.
+    assert outcome.path in ("slow", "retry", "disconnect")
+
+
+def test_decrees_are_independent():
+    cluster, node, coordinator, acceptors = make_world()
+    acceptors["a1"].preseed(1, "RIVAL")
+    acceptors["a2"].preseed(1, "RIVAL")
+    first = propose(cluster, node, coordinator, decree=1, value="X")
+    second = propose(cluster, node, coordinator, decree=2, value="Y")
+    assert first.path == "slow"
+    assert second.path == "fast"
+
+
+def test_coordinator_requires_acceptors():
+    cluster = Cluster()
+    node = cluster.add_node("coord")
+    with pytest.raises(ValueError):
+        FastPathCoordinator(node, [])

@@ -1,0 +1,142 @@
+"""Cross-module integration tests: end-to-end stories and edge cases."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import deploy_depfast_raft, find_leader, wait_for_leader
+from repro.raft.types import Role
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+GROUP3 = ["s1", "s2", "s3"]
+GROUP5 = ["s1", "s2", "s3", "s4", "s5"]
+
+
+def deploy(group, seed=37, n_clients=16):
+    cluster = Cluster(seed=seed)
+    raft = deploy_depfast_raft(cluster, group, config=RaftConfig(preferred_leader=group[0]))
+    wait_for_leader(cluster, raft)
+    workload = YcsbWorkload(cluster.rng.stream("y"), record_count=1000, value_size=1000)
+    driver = ClosedLoopDriver(cluster, group, workload, n_clients=n_clients)
+    driver.start()
+    return cluster, raft, driver
+
+
+class TestFiveNodeMinority:
+    def test_two_slow_followers_tolerated(self):
+        cluster, raft, driver = deploy(GROUP5)
+        injector = FaultInjector(cluster)
+        injector.inject("s4", "cpu_slow")
+        injector.inject("s5", "network_slow")
+        cluster.run(until_ms=8000.0)
+        report = driver.report(2000.0, 8000.0)
+        assert report.throughput_ops_s > 1000.0
+        assert report.errors == 0
+        assert find_leader(raft).id == "s1"
+
+    def test_majority_slow_does_stall(self):
+        """Sanity: the quorum property needs a healthy majority."""
+        cluster, raft, driver = deploy(GROUP3)
+        injector = FaultInjector(cluster)
+        injector.inject("s2", "cpu_slow")
+        injector.inject("s3", "cpu_slow")
+        cluster.run(until_ms=3000.0)
+        healthy_like = driver.report(500.0, 3000.0)
+        # With BOTH followers slow, commits pace at the slow nodes:
+        # throughput must be visibly depressed versus a 16-client healthy
+        # run (which does > 3000 ops/s at this operating point).
+        assert healthy_like.throughput_ops_s < 3000.0
+
+
+class TestLeaderLocalFaults:
+    def test_slow_leader_disk_is_tolerated_by_group_quorum(self):
+        """Commit = any majority holds the entry — including the case
+        where the two followers outrun the leader's own fsync."""
+        cluster, raft, driver = deploy(GROUP3)
+        cluster.run(until_ms=2500.0)
+        before = driver.report(1000.0, 2500.0)
+        FaultInjector(cluster).inject("s1", "disk_slow")  # LEADER disk
+        cluster.run(until_ms=6000.0)
+        after = driver.report(3000.0, 6000.0)
+        assert after.throughput_ops_s > 0.9 * before.throughput_ops_s
+
+    def test_slow_leader_cpu_degrades_without_detector(self):
+        cluster, raft, driver = deploy(GROUP3)
+        cluster.run(until_ms=2500.0)
+        before = driver.report(1000.0, 2500.0)
+        FaultInjector(cluster).inject("s1", "cpu_slow")
+        cluster.run(until_ms=8000.0)
+        after = driver.report(5000.0, 8000.0)
+        assert after.throughput_ops_s < 0.5 * before.throughput_ops_s
+
+
+class TestTransientFaults:
+    def test_transient_fault_recovers_fully(self):
+        cluster, raft, driver = deploy(GROUP3)
+        injector = FaultInjector(cluster)
+        injector.inject_transient("s3", "cpu_slow", at_ms=3000.0, duration_ms=2000.0)
+        cluster.run(until_ms=10_000.0)
+        during = driver.report(3000.0, 5000.0)
+        after = driver.report(7000.0, 10_000.0)
+        # Tolerated while present, gone afterwards; logs reconverge.
+        assert during.errors == 0
+        assert after.errors == 0
+        cluster.run(until_ms=cluster.kernel.now + 15_000.0)
+        assert raft["s3"].log.last_index() == raft["s1"].log.last_index()
+
+    def test_sequential_faults_on_different_followers(self):
+        cluster, raft, driver = deploy(GROUP3)
+        injector = FaultInjector(cluster)
+        injector.inject_transient("s2", "network_slow", at_ms=2000.0, duration_ms=1500.0)
+        injector.inject_transient("s3", "disk_slow", at_ms=5000.0, duration_ms=1500.0)
+        cluster.run(until_ms=9000.0)
+        report = driver.report(1000.0, 9000.0)
+        assert report.errors == 0
+        assert not report.crashed
+
+
+class TestRoleInvariants:
+    def test_exactly_one_leader_after_churn(self):
+        cluster, raft, driver = deploy(GROUP3)
+        leader = find_leader(raft)
+        leader.node.crash()
+        cluster.run(until_ms=cluster.kernel.now + 8000.0)
+        survivors = [r for r in raft.values() if not r.node.crashed]
+        leaders = [r for r in survivors if r.role == Role.LEADER]
+        assert len(leaders) == 1
+        # All survivors agree on the new leader's term.
+        assert len({r.term for r in survivors}) == 1
+
+    def test_crashed_majority_halts_progress_without_errors_in_log(self):
+        cluster, raft, driver = deploy(GROUP3)
+        raft["s2"].node.crash()
+        raft["s3"].node.crash()
+        commit_before = raft["s1"].commit_index
+        cluster.run(until_ms=cluster.kernel.now + 4000.0)
+        # No quorum: commits stop advancing beyond what was in flight.
+        assert raft["s1"].commit_index <= commit_before + 64
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        def run(seed):
+            cluster, raft, driver = deploy(GROUP3, seed=seed)
+            cluster.run(until_ms=4000.0)
+            report = driver.report(1000.0, 4000.0)
+            return (
+                report.throughput_ops_s,
+                report.avg_latency_ms,
+                raft["s1"].log.last_index(),
+            )
+
+        assert run(123) == run(123)
+
+    def test_different_seed_different_trajectory(self):
+        def run(seed):
+            cluster, raft, driver = deploy(GROUP3, seed=seed)
+            cluster.run(until_ms=4000.0)
+            return driver.report(1000.0, 4000.0).avg_latency_ms
+
+        assert run(1) != run(2)

@@ -1,0 +1,123 @@
+"""Unit tests for messages, links and send buffers."""
+
+import pytest
+
+from repro.net.buffers import BufferOverflowError, SendBuffer
+from repro.net.link import Link
+from repro.net.message import HEADER_BYTES, Message
+from repro.sim.resources import MemoryResource
+
+
+class TestMessage:
+    def test_size_includes_header(self):
+        msg = Message("a", "b", "ping", size_bytes=100)
+        assert msg.size_bytes == 100 + HEADER_BYTES
+
+    def test_ids_are_unique(self):
+        first = Message("a", "b", "x")
+        second = Message("a", "b", "x")
+        assert first.msg_id != second.msg_id
+
+    def test_reply_flag(self):
+        request = Message("a", "b", "x")
+        reply = Message("b", "a", "x:reply", reply_to=request.msg_id)
+        assert not request.is_reply
+        assert reply.is_reply
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Message("a", "b", "x", size_bytes=-1)
+
+
+class TestLink:
+    def test_transfer_time_scales_with_size(self):
+        link = Link(latency_ms=0.5, bandwidth_mbps=1.0)  # 1000 B/ms
+        assert link.transfer_ms(2000) == pytest.approx(2.0)
+        assert link.propagation_ms() == 0.5
+
+    def test_jitter_needs_rng(self):
+        import random
+
+        link = Link(latency_ms=1.0, jitter_ms=2.0, rng=random.Random(1))
+        samples = {link.propagation_ms() for _ in range(10)}
+        assert all(1.0 <= s <= 3.0 for s in samples)
+        assert len(samples) > 1
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Link(latency_ms=-1)
+        with pytest.raises(ValueError):
+            Link(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            Link(jitter_ms=-1)
+
+
+class TestSendBuffer:
+    def _msg(self, size=100):
+        return Message("a", "b", "x", size_bytes=size)
+
+    def test_fifo_push_pop(self):
+        buf = SendBuffer("a", "b")
+        first, second = self._msg(), self._msg()
+        buf.push(first)
+        buf.push(second)
+        assert buf.pop() is first
+        assert buf.pop() is second
+        assert buf.pop() is None
+
+    def test_byte_accounting(self):
+        buf = SendBuffer("a", "b")
+        msg = self._msg(200)
+        buf.push(msg)
+        assert buf.bytes_queued == msg.size_bytes
+        buf.pop()
+        assert buf.bytes_queued == 0
+
+    def test_bounded_buffer_overflows(self):
+        buf = SendBuffer("a", "b", max_bytes=300)
+        buf.push(self._msg(100))
+        with pytest.raises(BufferOverflowError):
+            buf.push(self._msg(200))
+
+    def test_unbounded_buffer_grows(self):
+        buf = SendBuffer("a", "b", max_bytes=None)
+        for _ in range(1000):
+            buf.push(self._msg(1000))
+        assert len(buf) == 1000
+        assert not buf.bounded
+
+    def test_memory_accounting_against_node_memory(self):
+        mem = MemoryResource(capacity_bytes=10**9)
+        buf = SendBuffer("a", "b", memory=mem)
+        msg = self._msg(500)
+        buf.push(msg)
+        assert mem.used == msg.size_bytes
+        buf.pop()
+        assert mem.used == 0
+
+    def test_discard_specific_message(self):
+        mem = MemoryResource(capacity_bytes=10**9)
+        buf = SendBuffer("a", "b", memory=mem)
+        keep, drop = self._msg(), self._msg()
+        buf.push(keep)
+        buf.push(drop)
+        assert buf.discard(drop.msg_id)
+        assert not buf.discard(drop.msg_id)  # already gone
+        assert buf.pop() is keep
+        assert mem.used == 0
+
+    def test_drain_all_releases_memory(self):
+        mem = MemoryResource(capacity_bytes=10**9)
+        buf = SendBuffer("a", "b", memory=mem)
+        for _ in range(5):
+            buf.push(self._msg())
+        assert buf.drain_all() == 5
+        assert mem.used == 0
+        assert buf.bytes_queued == 0
+
+    def test_peak_gauge_tracks_backlog(self):
+        buf = SendBuffer("a", "b")
+        for _ in range(3):
+            buf.push(self._msg(1000))
+        buf.drain_all()
+        assert buf.depth_gauge.peak == 3 * (1000 + HEADER_BYTES)

@@ -1,0 +1,207 @@
+"""Network integration tests: delivery, flow control, backpressure, crash."""
+
+import pytest
+
+from repro.net.inbox import Inbox
+from repro.net.link import Link
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.kernel import Kernel
+from repro.sim.resources import MemoryResource, NicResource
+
+
+def make_net(window=None, buffer_limit=None, link=None):
+    kernel = Kernel()
+    net = Network(kernel, default_link=link or Link(latency_ms=1.0, bandwidth_mbps=1000.0))
+    if window:
+        net.set_window_bytes(window)
+    boxes = {}
+    mems = {}
+    for node in ("a", "b"):
+        boxes[node] = Inbox(node)
+        mems[node] = MemoryResource(capacity_bytes=10**9)
+        net.attach(node, boxes[node], nic=NicResource(0.0), memory=mems[node],
+                   buffer_limit=buffer_limit)
+    return kernel, net, boxes, mems
+
+
+def consume_all(inbox):
+    """Drain an inbox, acking everything; returns the messages."""
+    out = []
+    while len(inbox):
+        ev = inbox.get_event()
+        assert ev.ready()
+        out.append(ev.value)
+    return out
+
+
+class TestDelivery:
+    def test_message_arrives_after_latency_and_transfer(self):
+        kernel, net, boxes, _ = make_net(
+            link=Link(latency_ms=2.0, bandwidth_mbps=1.0)  # 1000 B/ms
+        )
+        msg = Message("a", "b", "ping", size_bytes=1000 - 64)  # 1000B on wire
+        net.send(msg)
+        kernel.run_until_idle()
+        assert msg.delivered_at == pytest.approx(3.0)  # 1ms transfer + 2ms prop
+        assert len(boxes["b"]) == 1
+
+    def test_nic_delay_adds_to_delivery(self):
+        kernel, net, boxes, _ = make_net()
+        net.nic_of("b").set_extra_delay(400.0)  # Table 1 network slow
+        msg = Message("a", "b", "ping", size_bytes=0)
+        net.send(msg)
+        kernel.run_until_idle()
+        assert msg.delivered_at > 400.0
+
+    def test_fifo_order_preserved_per_connection(self):
+        kernel, net, boxes, _ = make_net()
+        sent = [Message("a", "b", f"m{i}", size_bytes=10) for i in range(5)]
+        for msg in sent:
+            net.send(msg)
+        kernel.run_until_idle()
+        got = consume_all(boxes["b"])
+        assert [m.method for m in got] == [f"m{i}" for i in range(5)]
+
+    def test_serialization_pipelines_large_messages(self):
+        kernel, net, _, _ = make_net(link=Link(latency_ms=0.0, bandwidth_mbps=1.0))
+        first = Message("a", "b", "big", size_bytes=10_000 - 64)
+        second = Message("a", "b", "big", size_bytes=10_000 - 64)
+        net.send(first)
+        net.send(second)
+        kernel.run_until_idle()
+        assert first.delivered_at == pytest.approx(10.0)
+        assert second.delivered_at == pytest.approx(20.0)
+
+
+class TestFlowControl:
+    def test_window_blocks_excess_into_buffer(self):
+        kernel, net, boxes, _ = make_net(window=1000)
+        conn = net.connection("a", "b")
+        for _ in range(5):
+            net.send(Message("a", "b", "w", size_bytes=400 - 64))  # 400B each
+        # Only 2 fit the 1000B window; 3 buffered.
+        assert len(conn.buffer) == 3
+        kernel.run_until_idle()
+        # Nothing consumed: window still full, buffer still holds the rest.
+        assert len(conn.buffer) == 3
+        assert len(boxes["b"]) == 2
+
+    def test_consumption_acks_open_window(self):
+        kernel, net, boxes, _ = make_net(window=1000)
+        conn = net.connection("a", "b")
+        for _ in range(5):
+            net.send(Message("a", "b", "w", size_bytes=400 - 64))
+        kernel.run_until_idle()
+        consume_all(boxes["b"])  # acks release window -> buffer drains
+        kernel.run_until_idle()
+        consume_all(boxes["b"])
+        kernel.run_until_idle()
+        assert len(conn.buffer) == 0
+        assert conn.delivered == 5
+
+    def test_slow_consumer_grows_sender_backlog_memory(self):
+        kernel, net, boxes, mems = make_net(window=1000)
+        for _ in range(100):
+            net.send(Message("a", "b", "w", size_bytes=400 - 64))
+        kernel.run_until_idle()
+        # Consumer never consumes: leader-side memory holds ~98 messages.
+        assert mems["a"].used == pytest.approx(98 * 400, rel=0.05)
+        assert net.buffered_bytes_from("a") > 0
+
+    def test_buffer_order_respected_before_new_sends(self):
+        kernel, net, boxes, _ = make_net(window=1000)
+        first = Message("a", "b", "first", size_bytes=900 - 64)
+        blocked = Message("a", "b", "blocked", size_bytes=900 - 64)
+        net.send(first)
+        net.send(blocked)  # buffered: window full
+        small = Message("a", "b", "small", size_bytes=10)
+        net.send(small)  # must queue behind `blocked`, not jump ahead
+        kernel.run_until_idle()
+        got = consume_all(boxes["b"])
+        assert [m.method for m in got] == ["first"]
+        kernel.run_until_idle()
+        got += consume_all(boxes["b"])
+        kernel.run_until_idle()
+        got += consume_all(boxes["b"])
+        assert [m.method for m in got] == ["first", "blocked", "small"]
+
+
+class TestCrash:
+    def test_crashed_receiver_drops_traffic_and_releases_window(self):
+        kernel, net, boxes, _ = make_net(window=1000)
+        conn = net.connection("a", "b")
+        net.send(Message("a", "b", "w", size_bytes=400 - 64))
+        net.crash("b")
+        kernel.run_until_idle()
+        assert len(boxes["b"]) == 0
+        assert conn.in_flight == 0
+
+    def test_crashed_sender_stops_sending(self):
+        kernel, net, boxes, _ = make_net()
+        net.crash("a")
+        net.send(Message("a", "b", "w", size_bytes=10))
+        kernel.run_until_idle()
+        assert len(boxes["b"]) == 0
+
+    def test_crash_drains_buffers(self):
+        kernel, net, _, mems = make_net(window=500)
+        for _ in range(10):
+            net.send(Message("a", "b", "w", size_bytes=400 - 64))
+        assert net.buffered_bytes_from("a") > 0
+        net.crash("b")
+        assert net.buffered_bytes_from("a") == 0
+        assert mems["a"].used == 0
+
+
+class TestTopology:
+    def test_unknown_node_rejected(self):
+        kernel = Kernel()
+        net = Network(kernel)
+        with pytest.raises(ValueError):
+            net.send(Message("ghost", "also-ghost", "x"))
+
+    def test_duplicate_attach_rejected(self):
+        kernel, net, _, _ = make_net()
+        with pytest.raises(ValueError):
+            net.attach("a", Inbox("a"))
+
+    def test_per_pair_link_override(self):
+        kernel, net, boxes, _ = make_net()
+        net.set_link("a", "b", Link(latency_ms=100.0, bandwidth_mbps=1000.0))
+        msg = Message("a", "b", "x", size_bytes=0)
+        net.send(msg)
+        kernel.run_until_idle()
+        assert msg.delivered_at >= 100.0
+
+
+class TestInbox:
+    def test_direct_handoff_to_waiter(self):
+        inbox = Inbox("n")
+        ev = inbox.get_event()
+        assert not ev.ready()
+        acked = []
+        inbox.put(Message("a", "n", "x"), ack=lambda: acked.append(True))
+        assert ev.ready()
+        assert acked == [True]
+
+    def test_queued_message_acks_at_get(self):
+        inbox = Inbox("n")
+        acked = []
+        inbox.put(Message("a", "n", "x"), ack=lambda: acked.append(True))
+        assert acked == []
+        ev = inbox.get_event()
+        assert ev.ready()
+        assert acked == [True]
+
+    def test_single_consumer_enforced(self):
+        inbox = Inbox("n")
+        inbox.get_event()
+        with pytest.raises(RuntimeError):
+            inbox.get_event()
+
+    def test_cancel_get_allows_new_waiter(self):
+        inbox = Inbox("n")
+        inbox.get_event()
+        inbox.cancel_get()
+        inbox.get_event()  # no error

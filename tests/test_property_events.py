@@ -1,0 +1,175 @@
+"""Property-based tests (hypothesis) for the event layer."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.base import Event
+from repro.events.basic import ValueEvent
+from repro.events.compound import AndEvent, OrEvent, QuorumEvent
+
+
+# ---------------------------------------------------------------------------
+# QuorumEvent counting semantics
+# ---------------------------------------------------------------------------
+@given(
+    n_total=st.integers(min_value=1, max_value=20),
+    data=st.data(),
+)
+def test_quorum_ready_iff_enough_accepts(n_total, data):
+    quorum = data.draw(st.integers(min_value=1, max_value=n_total))
+    verdicts = data.draw(
+        st.lists(st.booleans(), min_size=n_total, max_size=n_total)
+    )
+    order = data.draw(st.permutations(range(n_total)))
+    event = QuorumEvent(
+        quorum, n_total=n_total, classify=lambda child: child.value
+    )
+    children = [ValueEvent(name=f"v{i}") for i in range(n_total)]
+    for child in children:
+        event.add(child)
+    fired_accepts = 0
+    for index in order:
+        children[index].set(verdicts[index])
+        if verdicts[index]:
+            fired_accepts += 1
+        assert event.ready() == (fired_accepts >= quorum) or event.ready()
+        # Readiness is sticky: once true it never reverts.
+        if fired_accepts >= quorum:
+            assert event.ready()
+    total_accepts = sum(verdicts)
+    assert event.ready() == (total_accepts >= quorum)
+    assert event.n_ok == total_accepts
+    assert event.n_reject == n_total - total_accepts
+    assert event.definitely_failed() == (
+        event.n_reject > n_total - quorum
+    )
+    # A quorum event can be ready or definitely failed, never both.
+    assert not (event.ready() and event.definitely_failed())
+
+
+@given(
+    n_total=st.integers(min_value=1, max_value=12),
+    data=st.data(),
+)
+def test_quorum_trigger_order_does_not_matter(n_total, data):
+    """Any order of the same verdicts gives the same final state."""
+    quorum = data.draw(st.integers(min_value=1, max_value=n_total))
+    verdicts = data.draw(st.lists(st.booleans(), min_size=n_total, max_size=n_total))
+    orders = [
+        data.draw(st.permutations(range(n_total))),
+        data.draw(st.permutations(range(n_total))),
+    ]
+    finals = []
+    for order in orders:
+        event = QuorumEvent(quorum, n_total=n_total, classify=lambda c: c.value)
+        children = [ValueEvent() for _ in range(n_total)]
+        for child in children:
+            event.add(child)
+        for index in order:
+            children[index].set(verdicts[index])
+        finals.append((event.ready(), event.n_ok, event.n_reject))
+    assert finals[0] == finals[1]
+
+
+# ---------------------------------------------------------------------------
+# And/Or composition against a boolean reference model
+# ---------------------------------------------------------------------------
+# A tree is ("leaf", index) | ("and", [trees]) | ("or", [trees]).
+def _tree_strategy(n_leaves):
+    leaf = st.tuples(st.just("leaf"), st.integers(min_value=0, max_value=n_leaves - 1))
+    return st.recursive(
+        leaf,
+        lambda children: st.tuples(
+            st.sampled_from(["and", "or"]),
+            st.lists(children, min_size=1, max_size=3),
+        ),
+        max_leaves=8,
+    )
+
+
+def _build(tree, leaves):
+    kind = tree[0]
+    if kind == "leaf":
+        return leaves[tree[1]]
+    compound = AndEvent(name="and") if kind == "and" else OrEvent(name="or")
+    for child_tree in tree[1]:
+        compound.add(_build(child_tree, leaves))
+    return compound
+
+
+def _evaluate(tree, fired):
+    kind = tree[0]
+    if kind == "leaf":
+        return fired[tree[1]]
+    values = [_evaluate(child, fired) for child in tree[1]]
+    return all(values) if kind == "and" else any(values)
+
+
+@given(data=st.data())
+@settings(max_examples=200)
+def test_nested_and_or_matches_boolean_semantics(data):
+    n_leaves = data.draw(st.integers(min_value=1, max_value=6))
+    tree = data.draw(_tree_strategy(n_leaves))
+    fired_set = data.draw(
+        st.sets(st.integers(min_value=0, max_value=n_leaves - 1))
+    )
+    # NOTE: one Event instance per leaf index; the same leaf may appear in
+    # several places in the tree, which must still evaluate consistently.
+    leaves = [Event(name=f"leaf{i}") for i in range(n_leaves)]
+    root = _build(tree, leaves)
+    for index in sorted(fired_set):
+        leaves[index].trigger()
+    fired = [index in fired_set for index in range(n_leaves)]
+    assert root.ready() == _evaluate(tree, fired)
+
+
+@given(data=st.data())
+@settings(max_examples=100)
+def test_trigger_before_or_after_composition_is_equivalent(data):
+    """Adding an already-fired child == firing it after adding."""
+    n_leaves = data.draw(st.integers(min_value=1, max_value=5))
+    tree = data.draw(_tree_strategy(n_leaves))
+    fired_set = data.draw(st.sets(st.integers(min_value=0, max_value=n_leaves - 1)))
+
+    before = [Event() for _ in range(n_leaves)]
+    for index in fired_set:
+        before[index].trigger()  # fire BEFORE building the tree
+    root_before = _build(tree, before)
+
+    after = [Event() for _ in range(n_leaves)]
+    root_after = _build(tree, after)
+    for index in sorted(fired_set):
+        after[index].trigger()  # fire AFTER building the tree
+
+    assert root_before.ready() == root_after.ready()
+
+
+# ---------------------------------------------------------------------------
+# Event core invariants
+# ---------------------------------------------------------------------------
+@given(n_subscribers=st.integers(min_value=0, max_value=50))
+def test_every_subscriber_notified_exactly_once(n_subscribers):
+    event = Event()
+    hits = [0] * n_subscribers
+
+    def make(i):
+        def notify(_event):
+            hits[i] += 1
+
+        return notify
+
+    for i in range(n_subscribers):
+        event.subscribe(make(i))
+    event.trigger()
+    event.trigger()  # idempotent
+    assert hits == [1] * n_subscribers
+
+
+@given(n_late=st.integers(min_value=0, max_value=20))
+def test_late_subscribers_fire_immediately(n_late):
+    event = Event()
+    event.trigger()
+    hits = []
+    for _ in range(n_late):
+        event.subscribe(lambda _ev: hits.append(1))
+    assert len(hits) == n_late

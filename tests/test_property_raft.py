@@ -1,0 +1,131 @@
+"""Property-based tests for the Raft log and end-to-end safety invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.faults.catalog import fault_names
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.log import RaftLog
+from repro.raft.service import deploy_depfast_raft, wait_for_leader
+from repro.raft.types import LogEntry
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+
+# ---------------------------------------------------------------------------
+# RaftLog unit-level invariants
+# ---------------------------------------------------------------------------
+def entry(term, index):
+    return LogEntry.sized(term, index, ("put", f"k{index}", "v"))
+
+
+@given(
+    prefix_len=st.integers(min_value=0, max_value=30),
+    batches=st.lists(
+        st.tuples(
+            st.integers(min_value=1, max_value=30),  # start index
+            st.integers(min_value=1, max_value=5),   # batch length
+            st.integers(min_value=1, max_value=3),   # term
+        ),
+        max_size=10,
+    ),
+)
+@settings(max_examples=100)
+def test_append_or_overwrite_keeps_log_contiguous(prefix_len, batches):
+    log = RaftLog()
+    for i in range(1, prefix_len + 1):
+        log.append(entry(1, i))
+    for start, length, term in batches:
+        start = min(start, log.last_index() + 1)  # no gaps allowed
+        log.append_or_overwrite([entry(term, start + k) for k in range(length)])
+        # Invariant: indices are contiguous 1..last.
+        for index in range(1, log.last_index() + 1):
+            assert log.entry_at(index).index == index
+        assert log.term_at(0) == 0
+
+
+@given(
+    entries_terms=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=30)
+)
+def test_append_or_overwrite_is_idempotent(entries_terms):
+    log_a, log_b = RaftLog(), RaftLog()
+    batch = [entry(term, i + 1) for i, term in enumerate(sorted(entries_terms))]
+    log_a.append_or_overwrite(batch)
+    changed_second = log_a.append_or_overwrite(batch)  # replay
+    log_b.append_or_overwrite(batch)
+    assert changed_second == 0
+    assert log_a.last_index() == log_b.last_index()
+    for index in range(1, log_a.last_index() + 1):
+        assert log_a.entry_at(index) == log_b.entry_at(index)
+
+
+@given(
+    n=st.integers(min_value=1, max_value=50),
+    truncate_at=st.integers(min_value=1, max_value=60),
+)
+def test_truncate_then_reappend(n, truncate_at):
+    log = RaftLog()
+    for i in range(1, n + 1):
+        log.append(entry(1, i))
+    dropped = log.truncate_from(truncate_at)
+    assert dropped == max(0, n - truncate_at + 1)
+    assert log.last_index() == min(n, truncate_at - 1)
+    log.append(entry(2, log.last_index() + 1))  # re-append works
+
+
+@given(
+    cache_size=st.integers(min_value=1, max_value=20),
+    n_entries=st.integers(min_value=1, max_value=60),
+)
+def test_slice_cached_counts_misses_below_cache_floor(cache_size, n_entries):
+    log = RaftLog(cache_entries=cache_size)
+    for i in range(1, n_entries + 1):
+        log.append(entry(1, i))
+    entries, disk_bytes, misses = log.slice_cached(1, n_entries)
+    assert len(entries) == n_entries
+    expected_misses = max(0, n_entries - cache_size)
+    assert misses == expected_misses
+    assert (disk_bytes > 0) == (expected_misses > 0)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end safety under randomized fail-slow schedules
+# ---------------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    fault=st.sampled_from(fault_names()),
+    victim=st.sampled_from(["s2", "s3"]),
+)
+@settings(max_examples=6, deadline=None)
+def test_safety_under_random_fail_slow_follower(seed, fault, victim):
+    """Whatever fault hits a follower: single leader, consistent prefixes."""
+    cluster = Cluster(seed=seed)
+    group = ["s1", "s2", "s3"]
+    raft = deploy_depfast_raft(cluster, group, config=RaftConfig(preferred_leader="s1"))
+    wait_for_leader(cluster, raft)
+    FaultInjector(cluster).inject(victim, fault)
+    workload = YcsbWorkload(cluster.rng.stream("ycsb"), record_count=100, value_size=100)
+    driver = ClosedLoopDriver(cluster, group, workload, n_clients=8)
+    driver.start()
+    cluster.run(until_ms=4000.0)
+
+    # Safety: at most one leader per term.
+    leaders = [r for r in raft.values() if r.role.value == "leader"]
+    assert len({r.term for r in leaders}) == len(leaders)
+
+    # Log matching: committed prefixes agree everywhere.
+    min_commit = min(r.commit_index for r in raft.values())
+    if min_commit > 0:
+        reference = raft["s1"]
+        for node in raft.values():
+            for index in range(1, min_commit + 1):
+                assert node.log.entry_at(index).op == reference.log.entry_at(index).op
+
+    # Applied never exceeds committed.
+    for node in raft.values():
+        assert node.last_applied <= node.commit_index <= node.log.last_index()
+
+    # Progress: the healthy majority kept committing.
+    assert driver.completed > 50

@@ -1,0 +1,235 @@
+"""Property-based tests for the simulation substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.buffers import SendBuffer
+from repro.net.message import Message
+from repro.sim.kernel import Kernel
+from repro.sim.metrics import LatencyRecorder
+from repro.sim.resources import CpuResource, MemoryResource
+from repro.workload.distributions import ZipfianKeys
+
+
+# ---------------------------------------------------------------------------
+# Kernel ordering
+# ---------------------------------------------------------------------------
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1, max_size=100
+    ),
+    cancel_mask=st.lists(st.booleans(), min_size=1, max_size=100),
+)
+def test_kernel_fires_in_nondecreasing_time_order(delays, cancel_mask):
+    kernel = Kernel()
+    fired = []
+    calls = []
+    for i, delay in enumerate(delays):
+        calls.append(kernel.schedule(delay, lambda d=delay: fired.append(d)))
+    for call, cancel in zip(calls, cancel_mask):
+        if cancel:
+            call.cancel()
+    kernel.run_until_idle(max_time_ms=2e6)
+    assert fired == sorted(fired)
+    expected = sorted(
+        delay
+        for delay, (call, cancel) in zip(delays, zip(calls, cancel_mask + [False] * len(calls)))
+        if not call.cancelled
+    )
+    assert sorted(fired) == expected
+
+
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_kernel_clock_never_goes_backwards(delays):
+    kernel = Kernel()
+    observed = []
+    for delay in delays:
+        kernel.schedule(delay, lambda: observed.append(kernel.now))
+    kernel.run_until_idle()
+    assert observed == sorted(observed)
+    assert kernel.now == max(delays)
+
+
+# ---------------------------------------------------------------------------
+# CPU resource conservation
+# ---------------------------------------------------------------------------
+@given(
+    costs=st.lists(
+        st.floats(min_value=0.01, max_value=50.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    quota=st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+)
+def test_cpu_fifo_completion_time_is_work_over_rate(costs, quota):
+    kernel = Kernel()
+    cpu = CpuResource(kernel, base_rate=1.0)
+    cpu.set_quota(quota)
+    completions = []
+    for cost in costs:
+        cpu.submit(cost, on_done=lambda c=cost: completions.append((c, kernel.now)))
+    kernel.run_until_idle(max_time_ms=1e9)
+    # FIFO: completion order == submission order.
+    assert [c for c, _t in completions] == costs
+    # Total time == total work / rate (no idling between queued jobs).
+    total_work = sum(costs)
+    assert completions[-1][1] == math.isclose(
+        completions[-1][1], total_work / quota, rel_tol=1e-6
+    ) and completions[-1][1] > 0 or math.isclose(
+        completions[-1][1], total_work / quota, rel_tol=1e-6
+    )
+
+
+@given(
+    cost=st.floats(min_value=1.0, max_value=100.0, allow_nan=False),
+    changes=st.lists(
+        st.tuples(
+            st.floats(min_value=0.1, max_value=10.0),   # at fraction of cost
+            st.floats(min_value=0.05, max_value=1.0),   # new quota
+        ),
+        max_size=5,
+    ),
+)
+def test_cpu_retiming_conserves_work(cost, changes):
+    """However the rate changes mid-job, the job does exactly `cost` work."""
+    kernel = Kernel()
+    cpu = CpuResource(kernel, base_rate=1.0)
+    done_at = []
+    cpu.submit(cost, on_done=lambda: done_at.append(kernel.now))
+    schedule_time = 0.0
+    for at_offset, new_quota in changes:
+        schedule_time += at_offset
+        kernel.schedule(schedule_time, cpu.set_quota, new_quota)
+    kernel.run_until_idle(max_time_ms=1e9)
+    assert len(done_at) == 1
+    # Reconstruct the work integral over the piecewise-constant rate.
+    events = [(0.0, 1.0)]
+    time_acc = 0.0
+    for at_offset, new_quota in changes:
+        time_acc += at_offset
+        events.append((time_acc, new_quota))
+    end = done_at[0]
+    work = 0.0
+    for (start, rate), (next_start, _next_rate) in zip(events, events[1:] + [(end, 0.0)]):
+        span_end = min(next_start, end)
+        if span_end > start:
+            work += (span_end - start) * rate
+    assert math.isclose(work, cost, rel_tol=1e-6, abs_tol=1e-6)
+
+
+# ---------------------------------------------------------------------------
+# Memory accounting
+# ---------------------------------------------------------------------------
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(min_value=0, max_value=10_000)),
+        max_size=100,
+    )
+)
+def test_memory_accounting_never_negative_and_balances(ops):
+    memory = MemoryResource(capacity_bytes=10**9)
+    expected = 0
+    for op, size in ops:
+        if op == "alloc":
+            memory.allocate(size, owner="x")
+            expected += size
+        else:
+            size = min(size, memory.usage_of("x"))
+            memory.free(size, owner="x")
+            expected -= size
+        assert memory.used == expected
+        assert memory.used >= 0
+        assert memory.peak >= memory.used
+
+
+# ---------------------------------------------------------------------------
+# Send buffer byte conservation
+# ---------------------------------------------------------------------------
+@given(data=st.data())
+def test_send_buffer_conserves_bytes(data):
+    memory = MemoryResource(capacity_bytes=10**12)
+    buffer = SendBuffer("a", "b", memory=memory)
+    live = []
+    n_ops = data.draw(st.integers(min_value=1, max_value=60))
+    for _ in range(n_ops):
+        op = data.draw(st.sampled_from(["push", "pop", "discard", "drain"]))
+        if op == "push":
+            message = Message("a", "b", "m", size_bytes=data.draw(st.integers(0, 5000)))
+            buffer.push(message)
+            live.append(message)
+        elif op == "pop":
+            popped = buffer.pop()
+            if popped is not None:
+                live.remove(popped)
+        elif op == "discard" and live:
+            victim = data.draw(st.sampled_from(live))
+            if buffer.discard(victim.msg_id):
+                live.remove(victim)
+        elif op == "drain":
+            buffer.drain_all()
+            live.clear()
+        expected = sum(message.size_bytes for message in live)
+        assert buffer.bytes_queued == expected
+        assert memory.used == expected
+
+
+# ---------------------------------------------------------------------------
+# Latency percentiles against a reference implementation
+# ---------------------------------------------------------------------------
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False), min_size=1, max_size=200
+    ),
+    p=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+def test_percentile_matches_nearest_rank_reference(samples, p):
+    recorder = LatencyRecorder()
+    for i, latency in enumerate(samples):
+        recorder.record(float(i), latency)
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(p / 100.0 * len(ordered)))
+    assert recorder.percentile(p) == ordered[rank - 1]
+
+
+@given(
+    samples=st.lists(
+        st.floats(min_value=0.0, max_value=1e5, allow_nan=False), min_size=1, max_size=200
+    )
+)
+def test_summary_invariants(samples):
+    recorder = LatencyRecorder()
+    for i, latency in enumerate(samples):
+        recorder.record(float(i), latency)
+    summary = recorder.summary()
+    assert summary.minimum <= summary.p50 <= summary.p99 <= summary.maximum
+    assert summary.minimum <= summary.mean <= summary.maximum
+    assert summary.count == len(samples)
+
+
+# ---------------------------------------------------------------------------
+# Zipfian generator
+# ---------------------------------------------------------------------------
+@given(
+    record_count=st.integers(min_value=2, max_value=10_000),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50)
+def test_zipfian_ranks_in_range_and_skewed(record_count, seed):
+    import random
+
+    keys = ZipfianKeys(record_count, random.Random(seed))
+    ranks = [keys.next_rank() for _ in range(500)]
+    assert all(0 <= rank < record_count for rank in ranks)
+    # Skew: the single hottest rank should beat the uniform expectation.
+    from collections import Counter
+
+    most_common_count = Counter(ranks).most_common(1)[0][1]
+    assert most_common_count >= max(2, 500 // record_count)

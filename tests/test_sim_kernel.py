@@ -1,0 +1,153 @@
+"""Unit tests for the DES kernel: ordering, cancellation, time semantics."""
+
+import pytest
+
+from repro.sim.kernel import Kernel, SimulationError
+
+
+def test_time_starts_at_zero():
+    assert Kernel().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(10.0, lambda: fired.append(kernel.now))
+    kernel.run(until_ms=100.0)
+    assert fired == [10.0]
+    assert kernel.now == 100.0
+
+
+def test_callbacks_fire_in_time_order():
+    kernel = Kernel()
+    order = []
+    kernel.schedule(30.0, order.append, "c")
+    kernel.schedule(10.0, order.append, "a")
+    kernel.schedule(20.0, order.append, "b")
+    kernel.run_until_idle()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_broken_by_insertion_order():
+    kernel = Kernel()
+    order = []
+    for tag in ("first", "second", "third"):
+        kernel.schedule(5.0, order.append, tag)
+    kernel.run_until_idle()
+    assert order == ["first", "second", "third"]
+
+
+def test_cancelled_callback_does_not_fire():
+    kernel = Kernel()
+    fired = []
+    call = kernel.schedule(5.0, fired.append, "x")
+    call.cancel()
+    kernel.run_until_idle()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    kernel = Kernel()
+    call = kernel.schedule(5.0, lambda: None)
+    call.cancel()
+    call.cancel()
+    kernel.run_until_idle()
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        Kernel().schedule(-1.0, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    kernel = Kernel()
+    kernel.schedule(10.0, lambda: None)
+    kernel.run(until_ms=20.0)
+    with pytest.raises(SimulationError):
+        kernel.schedule_at(5.0, lambda: None)
+
+
+def test_call_soon_runs_at_current_time():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(7.0, lambda: kernel.call_soon(seen.append, kernel.now))
+    kernel.run_until_idle()
+    assert seen == [7.0]
+
+
+def test_nested_scheduling_from_callback():
+    kernel = Kernel()
+    times = []
+
+    def first():
+        times.append(kernel.now)
+        kernel.schedule(5.0, second)
+
+    def second():
+        times.append(kernel.now)
+
+    kernel.schedule(1.0, first)
+    kernel.run_until_idle()
+    assert times == [1.0, 6.0]
+
+
+def test_run_stops_at_boundary_leaving_future_events():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(10.0, fired.append, "early")
+    kernel.schedule(50.0, fired.append, "late")
+    kernel.run(until_ms=20.0)
+    assert fired == ["early"]
+    assert kernel.now == 20.0
+    kernel.run(until_ms=60.0)
+    assert fired == ["early", "late"]
+
+
+def test_run_backwards_rejected():
+    kernel = Kernel()
+    kernel.run(until_ms=10.0)
+    with pytest.raises(SimulationError):
+        kernel.run(until_ms=5.0)
+
+
+def test_stop_interrupts_run():
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, lambda: (fired.append("a"), kernel.stop()))
+    kernel.schedule(2.0, fired.append, "b")
+    kernel.run(until_ms=100.0)
+    assert fired == ["a"]
+    assert kernel.now == 1.0  # clock not forced forward after stop
+    kernel.run(until_ms=100.0)
+    assert "b" in fired
+
+
+def test_pending_excludes_cancelled():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    call = kernel.schedule(2.0, lambda: None)
+    call.cancel()
+    assert kernel.pending() == 1
+
+
+def test_next_event_time_skips_cancelled():
+    kernel = Kernel()
+    call = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(3.0, lambda: None)
+    call.cancel()
+    assert kernel.next_event_time() == 3.0
+
+
+def test_next_event_time_none_when_idle():
+    assert Kernel().next_event_time() is None
+
+
+def test_run_until_idle_safety_bound():
+    kernel = Kernel()
+
+    def reschedule():
+        kernel.schedule(1000.0, reschedule)
+
+    kernel.schedule(0.0, reschedule)
+    with pytest.raises(SimulationError):
+        kernel.run_until_idle(max_time_ms=10_000.0)

@@ -1,0 +1,58 @@
+"""Tests for the software fail-slow fault extension (debug logging)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.faults.catalog import SOFTWARE_FAULTS
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import deploy_depfast_raft, wait_for_leader
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+GROUP = ["s1", "s2", "s3"]
+
+
+class TestCatalog:
+    def test_debug_logging_in_catalog(self):
+        spec = SOFTWARE_FAULTS["debug_logging"]
+        assert spec.param("parse_cost_multiplier") > 1.0
+        assert "misconfiguration" in spec.description
+
+
+class TestInjection:
+    def test_inject_and_clear_restores_costs(self):
+        cluster = Cluster()
+        node = cluster.add_node("s1")
+        base_flat = node.endpoint.parse_cost_ms
+        base_kb = node.endpoint.parse_cost_per_kb_ms
+        injector = FaultInjector(cluster)
+        injector.inject("s1", "debug_logging")
+        assert node.endpoint.parse_cost_ms > base_flat
+        assert node.endpoint.parse_cost_per_kb_ms > base_kb
+        injector.clear("s1")
+        assert node.endpoint.parse_cost_ms == pytest.approx(base_flat)
+        assert node.endpoint.parse_cost_per_kb_ms == pytest.approx(base_kb)
+
+
+class TestEndToEnd:
+    def _run(self, fault):
+        cluster = Cluster(seed=53)
+        raft = deploy_depfast_raft(cluster, GROUP, config=RaftConfig(preferred_leader="s1"))
+        wait_for_leader(cluster, raft)
+        if fault:
+            FaultInjector(cluster).inject("s3", fault)
+        workload = YcsbWorkload(cluster.rng.stream("y"), record_count=1000, value_size=1000)
+        driver = ClosedLoopDriver(cluster, GROUP, workload, n_clients=16)
+        driver.start()
+        cluster.run(until_ms=6000.0)
+        return driver.report(2000.0, 6000.0), raft
+
+    def test_depfast_tolerates_misconfigured_follower(self):
+        healthy, _ = self._run(None)
+        slowed, raft = self._run("debug_logging")
+        # The misconfigured follower falls behind, but the group's quorum
+        # keeps client performance inside the band.
+        drift = abs(slowed.throughput_ops_s - healthy.throughput_ops_s)
+        assert drift / healthy.throughput_ops_s < 0.10
+        assert slowed.errors == 0

@@ -1,0 +1,133 @@
+"""Unit tests for WAL, entry cache and the KV state machine."""
+
+import pytest
+
+from repro.runtime.io_helper import IoHelperPool
+from repro.sim.kernel import Kernel
+from repro.sim.resources import DiskResource
+from repro.storage.entry_cache import EntryCache
+from repro.storage.kvstore import KvStore
+from repro.storage.wal import WriteAheadLog
+
+
+def make_wal(bandwidth=1.0, latency=1.0):
+    kernel = Kernel()
+    disk = DiskResource(kernel, bandwidth_mbps=bandwidth, op_latency_ms=latency)
+    return kernel, WriteAheadLog(IoHelperPool(disk, node="n0"))
+
+
+class TestWal:
+    def test_append_and_sync_durability(self):
+        kernel, wal = make_wal()
+        wal.append(1000)
+        assert wal.buffered_bytes == 1000
+        assert wal.durable_bytes == 0
+        event = wal.sync()
+        kernel.run_until_idle()
+        assert event.ready()
+        assert wal.durable_bytes == 1000
+        assert wal.buffered_bytes == 0
+
+    def test_group_commit_batches_bytes(self):
+        kernel, wal = make_wal()
+        for _ in range(10):
+            wal.append(100)
+        wal.sync()
+        kernel.run_until_idle()
+        assert wal.durable_bytes == 1000
+        assert wal.syncs == 1
+        assert wal.appended_entries == 10
+
+    def test_append_and_sync_shortcut(self):
+        kernel, wal = make_wal()
+        wal.append_and_sync(500)
+        kernel.run_until_idle()
+        assert wal.durable_bytes == 500
+
+    def test_sync_time_scales_with_bytes(self):
+        kernel, wal = make_wal(bandwidth=1.0, latency=0.0)  # 1000 B/ms
+        wal.append(10_000)
+        event = wal.sync()
+        kernel.run_until_idle()
+        # 10000 bytes + fsync barrier bytes at 1000 B/ms.
+        assert event.triggered_at > 10.0
+
+    def test_read_goes_to_disk(self):
+        kernel, wal = make_wal(bandwidth=1.0, latency=2.0)
+        event = wal.read(3000)
+        kernel.run_until_idle()
+        assert event.triggered_at == pytest.approx(5.0)
+
+    def test_negative_sizes_rejected(self):
+        _, wal = make_wal()
+        with pytest.raises(ValueError):
+            wal.append(-1)
+        with pytest.raises(ValueError):
+            wal.read(-1)
+
+
+class TestEntryCache:
+    def test_put_get_hit(self):
+        cache = EntryCache(max_entries=4)
+        cache.put(1, "a")
+        hit, entry = cache.get(1)
+        assert hit and entry == "a"
+        assert cache.hits == 1
+
+    def test_eviction_of_oldest_index(self):
+        cache = EntryCache(max_entries=3)
+        for index in range(1, 6):
+            cache.put(index, f"e{index}")
+        hit, _ = cache.get(1)
+        assert not hit
+        assert cache.misses == 1
+        hit, entry = cache.get(5)
+        assert hit and entry == "e5"
+        assert cache.lowest_cached_index() == 3
+
+    def test_contains_range(self):
+        cache = EntryCache(max_entries=10)
+        for index in range(5, 10):
+            cache.put(index, index)
+        assert cache.contains_range(5, 9)
+        assert not cache.contains_range(4, 9)
+
+    def test_lowest_index_empty(self):
+        assert EntryCache().lowest_cached_index() is None
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EntryCache(max_entries=0)
+
+
+class TestKvStore:
+    def test_put_get_delete_cycle(self):
+        store = KvStore()
+        store.apply(("put", "k", "v1"))
+        assert store.apply(("get", "k")) == "v1"
+        store.apply(("put", "k", "v2"))
+        assert store.apply(("delete", "k")) == "v2"
+        assert store.apply(("get", "k")) is None
+        assert store.applied == 5
+
+    def test_noop(self):
+        store = KvStore()
+        assert store.apply(("noop",)) is None
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            KvStore().apply(("frobnicate", "x"))
+
+    def test_checksum_equal_for_same_state(self):
+        a, b = KvStore(), KvStore()
+        a.apply(("put", "x", 1))
+        a.apply(("put", "y", 2))
+        b.apply(("put", "y", 2))
+        b.apply(("put", "x", 1))
+        assert a.checksum() == b.checksum()
+
+    def test_checksum_differs_for_different_state(self):
+        a, b = KvStore(), KvStore()
+        a.apply(("put", "x", 1))
+        b.apply(("put", "x", 2))
+        assert a.checksum() != b.checksum()

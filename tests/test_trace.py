@@ -1,0 +1,218 @@
+"""Tests for tracing, SPG construction, the tolerance checker and analysis."""
+
+import pytest
+
+from repro.events.basic import RpcEvent, ValueEvent
+from repro.events.compound import QuorumEvent
+from repro.runtime.runtime import Runtime
+from repro.sim.kernel import Kernel
+from repro.sim.resources import CpuResource
+from repro.trace.analysis import (
+    mean_wait_ms,
+    propagation_ratio,
+    slowness_attribution,
+    wait_time_by_kind,
+)
+from repro.trace.spg import build_spg, quorum_edges, render_spg, single_wait_edges
+from repro.trace.tracepoints import Tracer, WaitRecord
+from repro.trace.verify import check_fail_slow_tolerance
+
+
+def record(node, kind, edges, waited=10.0, name="e"):
+    return WaitRecord(
+        coro_name="c",
+        node=node,
+        event_kind=kind,
+        event_name=name,
+        edges=edges,
+        started_at=0.0,
+        ended_at=waited,
+        timed_out=False,
+    )
+
+
+class TestTracerIntegration:
+    def _traced_runtime(self):
+        kernel = Kernel()
+        tracer = Tracer(kernel)
+        runtime = Runtime(
+            kernel, node="s1", cpu=CpuResource(kernel), tracer=tracer
+        )
+        return kernel, tracer, runtime
+
+    def test_wait_records_capture_quorum_edges(self):
+        kernel, tracer, runtime = self._traced_runtime()
+        quorum = QuorumEvent(quorum=2, n_total=3, name="repl")
+        rpcs = [RpcEvent("ae", to_node=f"s{i}") for i in (2, 3, 4)]
+        for rpc in rpcs:
+            quorum.add(rpc)
+        kernel.schedule(5.0, rpcs[0].complete, "ok")
+        kernel.schedule(9.0, rpcs[1].complete, "ok")
+
+        def task():
+            yield quorum.wait()
+
+        runtime.spawn(task())
+        kernel.run_until_idle()
+        (rec,) = [r for r in tracer.records if r.event_kind == "quorum"]
+        assert rec.node == "s1"
+        assert rec.waited_ms == pytest.approx(9.0)
+        assert ("s2", 2, 3) in rec.edges
+        assert rec.is_inter_node()
+
+    def test_timeout_recorded(self):
+        kernel, tracer, runtime = self._traced_runtime()
+        ev = ValueEvent(source="s9")
+
+        def task():
+            yield ev.wait(timeout_ms=20.0)
+
+        runtime.spawn(task())
+        kernel.run_until_idle()
+        (rec,) = tracer.records
+        assert rec.timed_out
+        assert rec.waited_ms == pytest.approx(20.0)
+
+    def test_spawn_finish_counts(self):
+        kernel, tracer, runtime = self._traced_runtime()
+
+        def task():
+            yield runtime.sleep(1.0)
+
+        runtime.spawn(task())
+        runtime.spawn(task())
+        kernel.run_until_idle()
+        assert tracer.spawned == 2
+        assert tracer.finished == 2
+
+    def test_disabled_tracer_records_nothing(self):
+        kernel = Kernel()
+        tracer = Tracer(kernel, enabled=False)
+        runtime = Runtime(kernel, node="s1", cpu=CpuResource(kernel), tracer=tracer)
+
+        def task():
+            yield runtime.sleep(1.0)
+
+        runtime.spawn(task())
+        kernel.run_until_idle()
+        assert tracer.records == []
+
+
+class TestSpg:
+    def test_quorum_wait_makes_green_edge(self):
+        records = [record("s1", "quorum", [("s2", 2, 3), ("s3", 2, 3)])]
+        graph = build_spg(records)
+        assert graph.edges[("s1", "s2")]["color"] == "green"
+        assert graph.edges[("s1", "s2")]["label"] == "2/3"
+        assert quorum_edges(graph) == [("s1", "s2"), ("s1", "s3")]
+
+    def test_single_wait_makes_red_edge(self):
+        records = [record("c1", "rpc", [("s1", 1, 1)])]
+        graph = build_spg(records)
+        assert graph.edges[("c1", "s1")]["color"] == "red"
+        assert single_wait_edges(graph) == [("c1", "s1")]
+
+    def test_local_waits_do_not_create_edges(self):
+        records = [record("s1", "disk", [("s1", 1, 1)])]
+        graph = build_spg(records)
+        assert graph.number_of_edges() == 0
+
+    def test_red_dominates_on_merge(self):
+        records = [
+            record("s1", "quorum", [("s2", 2, 3)]),
+            record("s1", "rpc", [("s2", 1, 1)]),
+        ]
+        graph = build_spg(records)
+        assert graph.edges[("s1", "s2")]["color"] == "red"
+        assert graph.edges[("s1", "s2")]["count"] == 2
+
+    def test_aggregation_counts_and_wait_time(self):
+        records = [
+            record("s1", "quorum", [("s2", 2, 3)], waited=5.0),
+            record("s1", "quorum", [("s2", 2, 3)], waited=7.0),
+        ]
+        graph = build_spg(records)
+        data = graph.edges[("s1", "s2")]
+        assert data["count"] == 2
+        assert data["total_wait_ms"] == pytest.approx(12.0)
+
+    def test_render_flags_red_edges(self):
+        graph = build_spg([record("c1", "rpc", [("s1", 1, 1)])])
+        text = render_spg(graph)
+        assert "c1 -> s1" in text
+        assert "!" in text
+
+
+class TestToleranceChecker:
+    GROUPS = [["s1", "s2", "s3"]]
+
+    def test_quorum_only_trace_passes(self):
+        records = [record("s1", "quorum", [("s2", 2, 3), ("s3", 2, 3)])]
+        report = check_fail_slow_tolerance(records, self.GROUPS)
+        assert report.tolerant
+        assert report.checked_waits == 2
+        assert "PASS" in report.summary()
+
+    def test_single_wait_within_group_fails(self):
+        records = [record("s1", "rpc", [("s2", 1, 1)])]
+        report = check_fail_slow_tolerance(records, self.GROUPS)
+        assert not report.tolerant
+        assert "FAIL" in report.summary()
+        assert report.violations[0].source == "s2"
+
+    def test_full_quorum_wait_fails(self):
+        # Waiting for ALL members tolerates no slow member.
+        records = [record("s1", "quorum", [("s2", 3, 3), ("s3", 3, 3)])]
+        report = check_fail_slow_tolerance(records, self.GROUPS)
+        assert not report.tolerant
+
+    def test_client_to_leader_is_boundary_not_violation(self):
+        records = [record("c1", "rpc", [("s1", 1, 1)])]
+        report = check_fail_slow_tolerance(records, self.GROUPS)
+        assert report.tolerant
+        assert report.boundary_waits == [("c1", "s1")]
+
+    def test_node_in_two_groups_rejected(self):
+        with pytest.raises(ValueError):
+            check_fail_slow_tolerance([], [["s1"], ["s1"]])
+
+
+class TestAnalysis:
+    def test_wait_time_by_kind(self):
+        records = [
+            record("s1", "quorum", [("s2", 2, 3)], waited=5.0),
+            record("s1", "disk", [("s1", 1, 1)], waited=3.0),
+        ]
+        totals = wait_time_by_kind(records)
+        assert totals == {"quorum": 5.0, "disk": 3.0}
+
+    def test_attribution_splits_across_sources(self):
+        records = [record("s1", "quorum", [("s2", 2, 3), ("s3", 2, 3)], waited=10.0)]
+        charges = slowness_attribution(records)
+        assert charges == {"s2": 5.0, "s3": 5.0}
+
+    def test_attribution_filters_by_node(self):
+        records = [
+            record("s1", "rpc", [("s2", 1, 1)], waited=10.0),
+            record("s9", "rpc", [("s2", 1, 1)], waited=99.0),
+        ]
+        assert slowness_attribution(records, node="s1") == {"s2": 10.0}
+
+    def test_propagation_ratio(self):
+        records = [
+            record("s1", "rpc", [("s2", 1, 1)], waited=30.0),
+            record("s1", "rpc", [("s3", 1, 1)], waited=10.0),
+        ]
+        assert propagation_ratio(records, slow_node="s2", waiter="s1") == pytest.approx(0.75)
+
+    def test_propagation_ratio_empty_is_zero(self):
+        assert propagation_ratio([], "s2", "s1") == 0.0
+
+    def test_mean_wait(self):
+        records = [
+            record("s1", "rpc", [("s2", 1, 1)], waited=10.0),
+            record("s1", "quorum", [("s2", 2, 3)], waited=20.0),
+        ]
+        assert mean_wait_ms(records) == pytest.approx(15.0)
+        assert mean_wait_ms(records, kind="rpc") == pytest.approx(10.0)
+        assert mean_wait_ms([], kind="rpc") == 0.0

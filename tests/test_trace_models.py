@@ -1,0 +1,162 @@
+"""Tests for the transient fail-slow probability models (§3.3)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.events.basic import ValueEvent
+from repro.events.compound import QuorumEvent
+from repro.sim.kernel import Kernel
+from repro.trace.models import (
+    expected_quorum_wait,
+    impact_radius_table,
+    kth_order_statistic_cdf,
+    prob_quorum_delayed,
+    quorum_wait_percentile,
+)
+
+
+class TestClosedForms:
+    def test_single_wait_equals_p(self):
+        assert prob_quorum_delayed(1, 1, 0.1) == pytest.approx(0.1)
+
+    def test_all_replica_wait_equals_any_slow(self):
+        n, p = 5, 0.1
+        assert prob_quorum_delayed(n, n, p) == pytest.approx(1 - (1 - p) ** n)
+
+    def test_majority_quorum_suppresses_transients(self):
+        # 2-of-3: delayed only if >= 2 of 3 are simultaneously slow.
+        p = 0.1
+        expected = 3 * p**2 * (1 - p) + p**3
+        assert prob_quorum_delayed(3, 2, p) == pytest.approx(expected)
+
+    def test_boundary_probabilities(self):
+        assert prob_quorum_delayed(5, 3, 0.0) == 0.0
+        assert prob_quorum_delayed(5, 3, 1.0) == 1.0
+
+    def test_expected_wait_interpolates(self):
+        assert expected_quorum_wait(3, 2, 0.0, 10.0, 400.0) == 10.0
+        assert expected_quorum_wait(3, 2, 1.0, 10.0, 400.0) == 410.0
+        mid = expected_quorum_wait(3, 2, 0.5, 10.0, 400.0)
+        assert 10.0 < mid < 410.0
+
+    def test_percentile_two_point(self):
+        # p_delayed(3,2,0.1) = 0.028: the 95th percentile is still fast,
+        # the 99th percentile... still fast (0.028 > 0.01? no: 1-0.028=0.972 < 0.99)
+        assert quorum_wait_percentile(3, 2, 0.1, 10.0, 400.0, 95) == 10.0
+        assert quorum_wait_percentile(3, 2, 0.1, 10.0, 400.0, 99) == 410.0
+        # A 1/1 wait pays the delay already at the 95th percentile.
+        assert quorum_wait_percentile(1, 1, 0.1, 10.0, 400.0, 95) == 410.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            prob_quorum_delayed(3, 0, 0.1)
+        with pytest.raises(ValueError):
+            prob_quorum_delayed(3, 4, 0.1)
+        with pytest.raises(ValueError):
+            prob_quorum_delayed(3, 2, 1.5)
+        with pytest.raises(ValueError):
+            expected_quorum_wait(3, 2, 0.1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            quorum_wait_percentile(3, 2, 0.1, 1.0, 1.0, 101)
+
+
+class TestOrderStatisticCdf:
+    def test_homogeneous_matches_binomial(self):
+        f = 0.7
+        n, k = 5, 3
+        expected = sum(
+            math.comb(n, j) * f**j * (1 - f) ** (n - j) for j in range(k, n + 1)
+        )
+        assert kth_order_statistic_cdf([f] * n, k) == pytest.approx(expected)
+
+    def test_heterogeneous_one_dead_replica(self):
+        # One replica never responds (CDF 0): a 3-of-3 wait never finishes,
+        # a 2-of-3 wait behaves like 2-of-2 over the live ones.
+        assert kth_order_statistic_cdf([0.9, 0.9, 0.0], 3) == 0.0
+        assert kth_order_statistic_cdf([0.9, 0.9, 0.0], 2) == pytest.approx(0.81)
+
+    def test_certain_response(self):
+        assert kth_order_statistic_cdf([1.0, 1.0, 1.0], 3) == pytest.approx(1.0)
+
+
+class TestImpactRadiusTable:
+    def test_table_shape_and_labels(self):
+        rows = impact_radius_table(5, 0.1)
+        assert len(rows) == 5
+        assert rows[0]["label"] == "first response"
+        assert rows[2]["label"] == "majority quorum (DepFast)"
+        assert rows[4]["label"] == "all replicas (checkpoint/sync wait)"
+
+    def test_monotone_in_k(self):
+        rows = impact_radius_table(7, 0.2)
+        probs = [row["p_delayed"] for row in rows]
+        assert probs == sorted(probs)
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=1, max_value=15),
+    p=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    data=st.data(),
+)
+def test_probability_is_monotone_in_k_and_bounded(n, p, data):
+    k = data.draw(st.integers(min_value=1, max_value=n))
+    value = prob_quorum_delayed(n, k, p)
+    assert 0.0 <= value <= 1.0
+    if k < n:
+        assert value <= prob_quorum_delayed(n, k + 1, p) + 1e-12
+
+
+@given(
+    cdfs=st.lists(
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=10
+    ),
+    data=st.data(),
+)
+def test_order_statistic_cdf_monotone_in_k(cdfs, data):
+    k = data.draw(st.integers(min_value=1, max_value=len(cdfs)))
+    value = kth_order_statistic_cdf(cdfs, k)
+    assert -1e-12 <= value <= 1.0 + 1e-12
+    if k < len(cdfs):
+        assert kth_order_statistic_cdf(cdfs, k + 1) <= value + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Model vs simulation
+# ---------------------------------------------------------------------------
+class TestModelAgainstSimulation:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        p=st.floats(min_value=0.05, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    def test_quorum_delay_frequency_matches_binomial(self, p, seed):
+        """Monte-Carlo QuorumEvents against the closed form."""
+        import random
+
+        rng = random.Random(seed)
+        n, k = 5, 3
+        base, delay = 1.0, 50.0
+        trials = 400
+        slow_hits = 0
+        for _ in range(trials):
+            kernel = Kernel()
+            quorum = QuorumEvent(k, n_total=n)
+            for _replica in range(n):
+                event = ValueEvent()
+                latency = base + (delay if rng.random() < p else 0.0)
+                kernel.schedule(latency, event.set, 1)
+                quorum.add(event)
+            done_at = []
+            quorum.subscribe(lambda _ev: done_at.append(kernel.now))
+            kernel.run_until_idle()
+            if done_at[0] > base + 1e-9:
+                slow_hits += 1
+        predicted = prob_quorum_delayed(n, k, p)
+        observed = slow_hits / trials
+        assert abs(observed - predicted) < 0.08  # 400-trial tolerance

@@ -1,0 +1,231 @@
+"""Tests for the sharded transactional store (repro.txn)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.faults.injector import FaultInjector
+from repro.txn.shard_map import ShardMap
+from repro.txn.state_machine import TxnKvStore
+from repro.txn.store import deploy_sharded_store
+
+
+# ---------------------------------------------------------------------------
+# ShardMap
+# ---------------------------------------------------------------------------
+class TestShardMap:
+    MAP = ShardMap({"a": ["s1", "s2"], "b": ["s3", "s4"]})
+
+    def test_routing_is_deterministic_and_total(self):
+        for key in ("x", "y", "user42"):
+            shard = self.MAP.shard_for(key)
+            assert shard in ("a", "b")
+            assert self.MAP.shard_for(key) == shard
+
+    def test_split_by_shard_partitions(self):
+        keys = [f"k{i}" for i in range(50)]
+        grouped = self.MAP.split_by_shard(keys)
+        regrouped = [key for members in grouped.values() for key in members]
+        assert sorted(regrouped) == sorted(keys)
+
+    def test_spreads_keys_across_shards(self):
+        grouped = self.MAP.split_by_shard(f"k{i}" for i in range(200))
+        assert len(grouped) == 2
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            ShardMap({})
+
+
+# ---------------------------------------------------------------------------
+# TxnKvStore state machine (pure, no sim)
+# ---------------------------------------------------------------------------
+class TestTxnKvStore:
+    def test_prepare_commit_applies_writes(self):
+        sm = TxnKvStore()
+        assert sm.apply(("txn_prepare", "t1", (("x", 1), ("y", 2)))) == ("yes",)
+        assert sm.apply(("txn_commit", "t1")) == ("committed", 2)
+        assert sm.get("x") == 1
+        assert sm.get("y") == 2
+        assert sm.locked_keys() == {}
+
+    def test_conflicting_prepare_votes_no(self):
+        sm = TxnKvStore()
+        sm.apply(("txn_prepare", "t1", (("x", 1),)))
+        assert sm.apply(("txn_prepare", "t2", (("x", 9),))) == ("no", "t1")
+        assert sm.prepares_rejected == 1
+
+    def test_abort_releases_locks(self):
+        sm = TxnKvStore()
+        sm.apply(("txn_prepare", "t1", (("x", 1),)))
+        assert sm.apply(("txn_abort", "t1")) == ("aborted",)
+        assert sm.apply(("txn_prepare", "t2", (("x", 9),))) == ("yes",)
+        sm.apply(("txn_commit", "t2"))
+        assert sm.get("x") == 9
+
+    def test_uncommitted_writes_invisible(self):
+        sm = TxnKvStore()
+        sm.apply(("put", "x", "old"))
+        sm.apply(("txn_prepare", "t1", (("x", "new"),)))
+        assert sm.apply(("get", "x")) == "old"
+
+    def test_commit_of_unknown_txn_is_stale(self):
+        sm = TxnKvStore()
+        assert sm.apply(("txn_commit", "ghost")) == ("stale",)
+        assert sm.apply(("txn_abort", "ghost")) == ("aborted",)
+
+    def test_duplicate_prepare_keeps_vote(self):
+        sm = TxnKvStore()
+        assert sm.apply(("txn_prepare", "t1", (("x", 1),))) == ("yes",)
+        assert sm.apply(("txn_prepare", "t1", (("x", 1),))) == ("yes",)
+        assert sm.prepares_accepted == 1
+
+    def test_plain_kv_ops_still_work(self):
+        sm = TxnKvStore()
+        sm.apply(("put", "k", "v"))
+        assert sm.apply(("get", "k")) == "v"
+
+
+# ---------------------------------------------------------------------------
+# End-to-end 2PC over DepFastRaft shards
+# ---------------------------------------------------------------------------
+def deploy(n_shards=2, seed=23):
+    cluster = Cluster(seed=seed)
+    store = deploy_sharded_store(cluster, n_shards=n_shards, replicas=3)
+    store.wait_for_leaders()
+    client = cluster.add_client("cx")
+    client.start()
+    return cluster, store, store.coordinator(client)
+
+
+def run_txn(cluster, coordinator, writes):
+    outcomes = []
+
+    def script():
+        outcome = yield from coordinator.transact(writes)
+        outcomes.append(outcome)
+
+    coordinator.node.runtime.spawn(script())
+    cluster.run(until_ms=cluster.kernel.now + 30_000.0)
+    assert outcomes, "transaction did not finish"
+    return outcomes[0]
+
+
+def read(cluster, coordinator, key):
+    results = []
+
+    def script():
+        ok, value = yield from coordinator.get(key)
+        results.append((ok, value))
+
+    coordinator.node.runtime.spawn(script())
+    cluster.run(until_ms=cluster.kernel.now + 10_000.0)
+    return results[0]
+
+
+def cross_shard_writes(shard_map, n_keys=4):
+    """A write set guaranteed to span at least two shards."""
+    writes = {}
+    seen = set()
+    i = 0
+    while len(seen) < 2 or len(writes) < n_keys:
+        key = f"k{i}"
+        writes[key] = f"v{i}"
+        seen.add(shard_map.shard_for(key))
+        i += 1
+    return writes
+
+
+class TestDistributedTxn:
+    def test_cross_shard_commit_and_read_back(self):
+        cluster, store, coordinator = deploy()
+        writes = cross_shard_writes(store.shard_map)
+        outcome = run_txn(cluster, coordinator, writes)
+        assert outcome.committed
+        assert len(outcome.shards) >= 2
+        for key, value in writes.items():
+            assert read(cluster, coordinator, key) == (True, value)
+
+    def test_atomicity_all_replicas_converge(self):
+        cluster, store, coordinator = deploy()
+        writes = cross_shard_writes(store.shard_map)
+        outcome = run_txn(cluster, coordinator, writes)
+        assert outcome.committed
+        cluster.run(until_ms=cluster.kernel.now + 2000.0)
+        for shard in store.shard_map.shard_names():
+            machines = store.state_machines(shard)
+            checksums = {sm.checksum() for sm in machines}
+            assert len(checksums) == 1
+            assert all(sm.locked_keys() == {} for sm in machines)
+
+    def test_conflicting_txns_one_aborts(self):
+        cluster, store, coordinator = deploy()
+        # Pre-lock a key by preparing a txn directly on its shard, then
+        # run a transaction over the same key: it must abort on the "no".
+        victim_key = "k0"
+        shard = store.shard_map.shard_for(victim_key)
+        leader = store.leader_of(shard)
+        blocker = []
+
+        def preseed():
+            ok, result = yield from coordinator._clients[shard].execute(
+                ("txn_prepare", "blocker-txn", ((victim_key, "held"),)), size_bytes=64
+            )
+            blocker.append((ok, result))
+
+        coordinator.node.runtime.spawn(preseed())
+        cluster.run(until_ms=cluster.kernel.now + 5000.0)
+        assert blocker == [(True, ("yes",))]
+
+        writes = cross_shard_writes(store.shard_map)
+        writes[victim_key] = "mine"
+        outcome = run_txn(cluster, coordinator, writes)
+        assert not outcome.committed
+        assert outcome.reason == "voted-no"
+        # Aborted txn left no locks anywhere except the blocker's.
+        cluster.run(until_ms=cluster.kernel.now + 2000.0)
+        for name in store.shard_map.shard_names():
+            for sm in store.state_machines(name):
+                locked = sm.locked_keys()
+                assert set(locked.values()) <= {"blocker-txn"}
+
+    def test_abort_then_retry_succeeds_after_release(self):
+        cluster, store, coordinator = deploy()
+        key = "k0"
+        shard = store.shard_map.shard_for(key)
+
+        def preseed_and_release():
+            yield from coordinator._clients[shard].execute(
+                ("txn_prepare", "blocker", ((key, "held"),)), size_bytes=64
+            )
+            yield from coordinator._clients[shard].execute(
+                ("txn_abort", "blocker"), size_bytes=64
+            )
+
+        coordinator.node.runtime.spawn(preseed_and_release())
+        cluster.run(until_ms=cluster.kernel.now + 5000.0)
+        outcome = run_txn(cluster, coordinator, {key: "mine"})
+        assert outcome.committed
+        assert read(cluster, coordinator, key) == (True, "mine")
+
+    def test_fail_slow_minority_in_every_shard_tolerated(self):
+        cluster, store, coordinator = deploy()
+        injector = FaultInjector(cluster)
+        for shard in store.shard_map.shard_names():
+            group = store.shard_map.group_of(shard)
+            injector.inject(group[-1], "cpu_slow")  # one slow follower each
+        writes = cross_shard_writes(store.shard_map)
+        outcome = run_txn(cluster, coordinator, writes)
+        assert outcome.committed
+        assert outcome.latency_ms < 1000.0  # not gated on the slow nodes
+
+    def test_empty_transaction_rejected(self):
+        cluster, store, coordinator = deploy(n_shards=1)
+        with pytest.raises(ValueError):
+            next(coordinator.transact({}))
+
+    def test_single_shard_transaction(self):
+        cluster, store, coordinator = deploy(n_shards=1)
+        outcome = run_txn(cluster, coordinator, {"a": 1, "b": 2})
+        assert outcome.committed
+        assert outcome.shards == ["shard0"]
+        assert read(cluster, coordinator, "a") == (True, 1)

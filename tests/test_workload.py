@@ -1,0 +1,128 @@
+"""Unit tests for the workload package (generator, stats, client logic)."""
+
+import random
+
+import pytest
+
+from repro.sim.metrics import LatencyRecorder
+from repro.workload.distributions import UniformKeys, ZipfianKeys, key_name
+from repro.workload.stats import WorkloadReport
+from repro.workload.ycsb import YcsbWorkload
+
+
+class TestDistributions:
+    def test_uniform_in_range(self):
+        keys = UniformKeys(100, random.Random(1))
+        assert all(0 <= keys.next_rank() < 100 for _ in range(1000))
+
+    def test_uniform_requires_records(self):
+        with pytest.raises(ValueError):
+            UniformKeys(0, random.Random(1))
+
+    def test_zipfian_parameters_validated(self):
+        with pytest.raises(ValueError):
+            ZipfianKeys(0, random.Random(1))
+        with pytest.raises(ValueError):
+            ZipfianKeys(10, random.Random(1), theta=1.0)
+
+    def test_zipfian_is_more_skewed_than_uniform(self):
+        from collections import Counter
+
+        n = 1000
+        zipf = ZipfianKeys(n, random.Random(2))
+        uniform = UniformKeys(n, random.Random(2))
+        zipf_top = Counter(zipf.next_rank() for _ in range(5000)).most_common(1)[0][1]
+        uni_top = Counter(uniform.next_rank() for _ in range(5000)).most_common(1)[0][1]
+        assert zipf_top > 3 * uni_top
+
+    def test_key_name_deterministic(self):
+        assert key_name(7) == key_name(7)
+        assert key_name(7) != key_name(8)
+        assert key_name(7).startswith("user")
+
+
+class TestYcsbWorkload:
+    def test_update_only_generates_puts(self):
+        workload = YcsbWorkload(random.Random(1), record_count=100, update_fraction=1.0)
+        ops = [workload.next_op() for _ in range(100)]
+        assert all(op[0] == "put" for op, _size in ops)
+
+    def test_read_only_generates_gets(self):
+        workload = YcsbWorkload(random.Random(1), record_count=100, update_fraction=0.0)
+        ops = [workload.next_op() for _ in range(100)]
+        assert all(op[0] == "get" for op, _size in ops)
+
+    def test_value_size_respected(self):
+        workload = YcsbWorkload(random.Random(1), record_count=10, value_size=500)
+        (op, size) = workload.next_op()
+        assert len(op[2]) == 500
+        assert size > 500
+
+    def test_mixed_fraction_roughly_respected(self):
+        workload = YcsbWorkload(random.Random(3), record_count=100, update_fraction=0.5)
+        kinds = [workload.next_op()[0][0] for _ in range(1000)]
+        puts = kinds.count("put")
+        assert 350 < puts < 650
+
+    def test_uniform_distribution_option(self):
+        workload = YcsbWorkload(
+            random.Random(1), record_count=100, distribution="uniform"
+        )
+        workload.next_op()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            YcsbWorkload(random.Random(1), update_fraction=1.5)
+        with pytest.raises(ValueError):
+            YcsbWorkload(random.Random(1), value_size=0)
+        with pytest.raises(ValueError):
+            YcsbWorkload(random.Random(1), distribution="bimodal")
+
+    def test_generated_counter(self):
+        workload = YcsbWorkload(random.Random(1), record_count=10)
+        for _ in range(5):
+            workload.next_op()
+        assert workload.generated == 5
+
+
+class TestWorkloadReport:
+    def _report(self, latencies, window=(0.0, 1000.0), errors=0, crashed=()):
+        recorder = LatencyRecorder()
+        for i, latency in enumerate(latencies):
+            recorder.record(completed_at=float(i + 1), latency_ms=latency)
+        return WorkloadReport.from_recorder(
+            recorder, window[0], window[1], errors=errors, crashed_nodes=crashed
+        )
+
+    def test_throughput_from_window(self):
+        report = self._report([10.0] * 500)  # 500 ops in 1 s
+        assert report.throughput_ops_s == pytest.approx(500.0)
+
+    def test_latency_metrics_exposed(self):
+        report = self._report([10.0, 20.0, 30.0])
+        assert report.avg_latency_ms == pytest.approx(20.0)
+        assert report.p99_latency_ms == 30.0
+
+    def test_normalization(self):
+        baseline = self._report([10.0] * 100)
+        faulty = self._report([20.0] * 50)
+        normalized = faulty.normalized_to(baseline)
+        assert normalized["throughput"] == pytest.approx(0.5)
+        assert normalized["avg_latency"] == pytest.approx(2.0)
+        assert normalized["p99_latency"] == pytest.approx(2.0)
+
+    def test_crash_flag(self):
+        report = self._report([1.0], crashed=["s1"])
+        assert report.crashed
+        assert report.crashed_nodes == ["s1"]
+
+    def test_empty_window_rejected(self):
+        recorder = LatencyRecorder()
+        with pytest.raises(ValueError):
+            WorkloadReport.from_recorder(recorder, 100.0, 100.0)
+
+    def test_normalize_against_zero_baseline(self):
+        baseline = self._report([])
+        faulty = self._report([1.0])
+        normalized = faulty.normalized_to(baseline)
+        assert normalized["throughput"] == 0.0
