@@ -1,0 +1,267 @@
+"""Chaos campaign: nemesis schedules + safety verdicts over many seeds.
+
+One chaos *run* deploys a DepFastRaft group, points session-enabled
+closed-loop clients at it, lets a seeded :class:`~repro.faults.chaos.Nemesis`
+compose crash–restarts, partitions, message loss and Table 1 fail-slow
+transients for a window, heals everything, waits for convergence, and
+then renders verdicts:
+
+* **linearizable** — the recorded client history passes the Wing–Gong
+  checker (:mod:`repro.trace.linearize`);
+* **exactly-once** — no client request id was applied twice by any
+  replica's state machine (session dedup held across retries, failover
+  and recovery);
+* **converged** — after the final heal every replica applied the same
+  prefix and their state digests agree;
+* **availability** — throughput during the chaos window vs. the healthy
+  warm-up, plus errors (an availability *report*, not an assertion: a
+  run with the leader crashed is expected to dip).
+
+A *campaign* repeats this across seeds and group sizes; one failing seed
+fails the campaign and prints its nemesis log for replay. Everything
+downstream of the seed is deterministic, so a verdict is reproducible
+with ``python -m repro chaos --seed N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.faults.chaos import Nemesis
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import deploy_depfast_raft, wait_for_leader
+from repro.trace.linearize import HistoryRecorder, check_linearizable
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+
+@dataclass
+class ChaosParams:
+    """Knobs for one chaos run (defaults sized for a few wall-seconds)."""
+
+    group_size: int = 3
+    n_clients: int = 6
+    record_count: int = 32  # small keyspace → real read/write races
+    value_size: int = 16
+    update_fraction: float = 0.6
+    read_mode: str = "read_index"
+    warmup_ms: float = 1_500.0
+    chaos_window_ms: float = 8_000.0
+    converge_deadline_ms: float = 10_000.0
+    events: int = 10
+    request_timeout_ms: float = 400.0
+    backoff_ms: float = 20.0
+    max_attempts: int = 40
+    majority_guard: bool = True
+    snapshot_threshold_entries: Optional[int] = 400
+
+    def config(self, group: Sequence[str]) -> RaftConfig:
+        # Tighter timing than the measurement experiments: chaos windows
+        # are short, and we want failover (not its timeout constants) to
+        # dominate the run.
+        return RaftConfig(
+            preferred_leader=group[0],
+            heartbeat_interval_ms=50.0,
+            election_timeout_min_ms=300.0,
+            election_timeout_max_ms=600.0,
+            client_commit_timeout_ms=1_000.0,
+            read_mode=self.read_mode,
+            snapshot_threshold_entries=self.snapshot_threshold_entries,
+            compaction_keep_entries=128,
+        )
+
+
+@dataclass
+class ChaosRunResult:
+    seed: int
+    group_size: int
+    linearizable: bool
+    converged: bool
+    double_applies: int
+    duplicates_deduped: int
+    checked_ops: int
+    indeterminate_ops: int
+    completed_ops: int
+    client_errors: int
+    crashes: int
+    restarts: int
+    partitions: int
+    heals: int
+    skipped_events: int
+    recoveries: int
+    lost_unacked_entries: int
+    healthy_throughput_ops_s: float
+    chaos_throughput_ops_s: float
+    digest: str
+    nemesis_log: List = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.linearizable and self.converged and self.double_applies == 0
+
+    @property
+    def availability(self) -> float:
+        if self.healthy_throughput_ops_s <= 0:
+            return 0.0
+        return self.chaos_throughput_ops_s / self.healthy_throughput_ops_s
+
+
+def run_chaos_once(seed: int, params: Optional[ChaosParams] = None) -> ChaosRunResult:
+    """One seeded chaos run; deterministic end to end."""
+    params = params or ChaosParams()
+    cluster = Cluster(seed=seed)
+    group = [f"s{i + 1}" for i in range(params.group_size)]
+    raft = deploy_depfast_raft(cluster, group, config=params.config(group))
+    history = HistoryRecorder()
+    workload = YcsbWorkload(
+        cluster.rng.stream("workload"),
+        record_count=params.record_count,
+        value_size=params.value_size,
+        update_fraction=params.update_fraction,
+        distribution="uniform",
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        group,
+        workload,
+        n_clients=params.n_clients,
+        think_time_ms=2.0,
+        request_timeout_ms=params.request_timeout_ms,
+        sessions=True,
+        backoff_ms=params.backoff_ms,
+        max_attempts=params.max_attempts,
+        history=history,
+    )
+    wait_for_leader(cluster, raft)
+    driver.start()
+    cluster.run(params.warmup_ms)
+
+    nemesis = Nemesis(
+        cluster,
+        raft,
+        injector=FaultInjector(cluster),
+        majority_guard=params.majority_guard,
+    )
+    chaos_start = params.warmup_ms
+    chaos_end = chaos_start + params.chaos_window_ms
+    nemesis.random_schedule(
+        cluster.rng.stream("nemesis"), chaos_start, chaos_end, events=params.events
+    )
+    cluster.run(chaos_end)
+    nemesis.heal_everything()
+
+    # Stop new traffic, drain in-flight operations, then wait until every
+    # replica applied the same prefix and the digests agree.
+    driver.stop()
+    converged = False
+    deadline = chaos_end + params.converge_deadline_ms
+    while cluster.kernel.now < deadline:
+        cluster.run(min(deadline, cluster.kernel.now + 250.0))
+        if cluster.crashed_nodes():
+            continue
+        applied = {raft[node_id].last_applied for node_id in group}
+        commits = {raft[node_id].commit_index for node_id in group}
+        digests = {raft[node_id].kv.stable_digest() for node_id in group}
+        if len(applied) == 1 and len(commits) == 1 and len(digests) == 1:
+            converged = True
+            break
+
+    verdict = check_linearizable(history)
+    double_applies = sum(raft[node_id].kv.double_applies for node_id in group)
+    deduped = sum(raft[node_id].kv.duplicates_deduped for node_id in group)
+    recoveries = sum(raft[node_id].durable.recoveries for node_id in group)
+    lost = sum(raft[node_id].durable.lost_on_recovery for node_id in group)
+    healthy = driver.report(0.0, chaos_start)
+    during = driver.report(chaos_start, chaos_end)
+    return ChaosRunResult(
+        seed=seed,
+        group_size=params.group_size,
+        linearizable=verdict.ok,
+        converged=converged,
+        double_applies=double_applies,
+        duplicates_deduped=deduped,
+        checked_ops=verdict.checked_ops,
+        indeterminate_ops=verdict.indeterminate_ops,
+        completed_ops=driver.completed,
+        client_errors=driver.errors,
+        crashes=nemesis.crashes,
+        restarts=nemesis.restarts,
+        partitions=nemesis.partitions,
+        heals=nemesis.heals,
+        skipped_events=nemesis.skipped,
+        recoveries=recoveries,
+        lost_unacked_entries=lost,
+        healthy_throughput_ops_s=healthy.throughput_ops_s,
+        chaos_throughput_ops_s=during.throughput_ops_s,
+        digest=raft[group[0]].kv.stable_digest(),
+        nemesis_log=list(nemesis.log),
+    )
+
+
+@dataclass
+class CampaignResult:
+    runs: List[ChaosRunResult]
+
+    @property
+    def ok(self) -> bool:
+        return all(run.ok for run in self.runs)
+
+    @property
+    def failures(self) -> List[ChaosRunResult]:
+        return [run for run in self.runs if not run.ok]
+
+
+def run_chaos_campaign(
+    seeds: Sequence[int],
+    group_sizes: Sequence[int] = (3, 5),
+    params: Optional[ChaosParams] = None,
+) -> CampaignResult:
+    """The acceptance campaign: every (seed, group size) must be safe."""
+    base = params or ChaosParams()
+    runs: List[ChaosRunResult] = []
+    for group_size in group_sizes:
+        for seed in seeds:
+            run_params = ChaosParams(**{**base.__dict__, "group_size": group_size})
+            runs.append(run_chaos_once(seed, run_params))
+    return CampaignResult(runs=runs)
+
+
+def render_chaos_run(run: ChaosRunResult, verbose: bool = False) -> str:
+    flags = []
+    flags.append("linearizable" if run.linearizable else "NOT-LINEARIZABLE")
+    flags.append("converged" if run.converged else "NOT-CONVERGED")
+    flags.append(
+        "exactly-once" if run.double_applies == 0 else f"{run.double_applies} DOUBLE-APPLIES"
+    )
+    lines = [
+        f"seed={run.seed} n={run.group_size}: {' '.join(flags)}",
+        f"  ops: {run.completed_ops} completed, {run.checked_ops} checked, "
+        f"{run.indeterminate_ops} indeterminate, {run.duplicates_deduped} retries deduped, "
+        f"{run.client_errors} gave up",
+        f"  nemesis: {run.crashes} crashes / {run.restarts} restarts "
+        f"({run.recoveries} recoveries, {run.lost_unacked_entries} unacked entries dropped), "
+        f"{run.partitions} partitions / {run.heals} heals, {run.skipped_events} skipped",
+        f"  availability during chaos: {100 * run.availability:.0f}% "
+        f"({run.chaos_throughput_ops_s:.0f} of {run.healthy_throughput_ops_s:.0f} ops/s)  "
+        f"digest={run.digest}",
+    ]
+    if verbose or not run.ok:
+        for t, kind, detail in run.nemesis_log:
+            lines.append(f"    {t:9.1f}ms {kind:10s} {detail}")
+    return "\n".join(lines)
+
+
+def render_chaos_campaign(result: CampaignResult, verbose: bool = False) -> str:
+    lines = [render_chaos_run(run, verbose=verbose) for run in result.runs]
+    verdict = "CAMPAIGN SAFE" if result.ok else f"{len(result.failures)} UNSAFE RUNS"
+    lines.append(
+        f"{verdict}: {len(result.runs)} runs, "
+        f"{sum(run.crashes for run in result.runs)} crashes, "
+        f"{sum(run.partitions for run in result.runs)} partitions, "
+        f"{sum(run.duplicates_deduped for run in result.runs)} retries deduped, "
+        f"0 tolerated double-applies"
+    )
+    return "\n".join(lines)

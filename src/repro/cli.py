@@ -7,6 +7,7 @@ Usage::
     python -m repro figure2
     python -m repro figure3 [--smoke]
     python -m repro experiment --system depfast --fault cpu_slow
+    python -m repro chaos [--seed N] [--seeds 20] [--group-sizes 3 5]
 
 ``--smoke`` runs a shortened profile (shapes, not magnitudes); the default
 is the full paper profile used by EXPERIMENTS.md.
@@ -68,6 +69,34 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.bench.chaos import (
+        ChaosParams,
+        render_chaos_campaign,
+        render_chaos_run,
+        run_chaos_campaign,
+        run_chaos_once,
+    )
+
+    if any(size < 3 or size % 2 == 0 for size in args.group_sizes):
+        print("chaos: group sizes must be odd and >= 3 (Raft majorities)")
+        return 2
+    params = ChaosParams(events=args.events, majority_guard=not args.no_guard)
+    if args.seed is not None:
+        results = []
+        for group_size in args.group_sizes:
+            run_params = ChaosParams(**{**params.__dict__, "group_size": group_size})
+            run = run_chaos_once(args.seed, run_params)
+            results.append(run)
+            print(render_chaos_run(run, verbose=args.verbose))
+        return 0 if all(run.ok for run in results) else 1
+    campaign = run_chaos_campaign(
+        range(args.seeds), group_sizes=args.group_sizes, params=params
+    )
+    print(render_chaos_campaign(campaign, verbose=args.verbose))
+    return 0 if campaign.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -96,6 +125,31 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--fault", choices=fault_names(include_baseline=True), default="none")
     exp.add_argument("--smoke", action="store_true")
     exp.set_defaults(func=_cmd_experiment)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="nemesis campaign: crashes + partitions + loss + Table 1 faults, "
+        "checked for linearizability and exactly-once effects",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=None, help="run exactly one seed (replay/debug)"
+    )
+    chaos.add_argument("--seeds", type=int, default=20, help="number of seeds (campaign)")
+    chaos.add_argument(
+        "--group-sizes",
+        type=int,
+        nargs="+",
+        default=[3, 5],
+        help="Raft group sizes to run each seed against",
+    )
+    chaos.add_argument("--events", type=int, default=10, help="nemesis events per run")
+    chaos.add_argument(
+        "--no-guard",
+        action="store_true",
+        help="disable the majority-healthy guardrail (expect unavailability)",
+    )
+    chaos.add_argument("--verbose", action="store_true", help="print nemesis logs")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

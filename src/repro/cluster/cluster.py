@@ -42,6 +42,9 @@ class Cluster:
                 rng=self.rng.stream("link-jitter"),
             )
         self.network = Network(self.kernel, default_link=default_link)
+        # Seeded stream for probabilistic per-link message loss, so chaos
+        # runs are reproducible bit-for-bit.
+        self.network.use_loss_rng(self.rng.stream("net-loss"))
         self.nodes: Dict[str, Node] = {}
         self.clients: Dict[str, Node] = {}
 

@@ -70,6 +70,7 @@ class Node:
         self.network = network
         self.spec = spec or NodeSpec()
         self.metrics = MetricsRegistry(node_id)
+        self._tracer = tracer
 
         self.cpu = CpuResource(kernel, base_rate=self.spec.cpu_rate, name=f"{node_id}.cpu")
         self.disk = DiskResource(
@@ -106,6 +107,7 @@ class Node:
         self.crashed = False
         self.crashed_at: Optional[float] = None
         self.crash_reason: Optional[str] = None
+        self.restarts = 0
 
         # Resident footprint of the process before any dynamic buffers.
         base = int(self.spec.memory_bytes * self.spec.base_memory_fraction)
@@ -132,6 +134,47 @@ class Node:
         self.metrics.counter("crashes").inc()
         self.runtime.crash()
         self.network.crash(self.node_id)
+
+    def restart(self) -> None:
+        """Boot a fresh process on the same (possibly still-faulty) machine.
+
+        Hardware state — CPU/disk/NIC resources and any faults injected on
+        them — persists across the restart; process state does not: the
+        old runtime's coroutines are gone, memory allocations are
+        forgotten (base footprint re-allocated), the RPC endpoint and WAL
+        handle are recreated, and the network hands the node a fresh inbox
+        with all its connections reset. Durable on-disk state is the
+        owner's concern (see :class:`repro.storage.durable.DurableRaftState`);
+        after ``restart()`` the owner must re-register handlers and call
+        :meth:`start`.
+        """
+        if not self.crashed:
+            raise RuntimeError(f"node {self.node_id} is not crashed")
+        self.crashed = False
+        self.crash_reason = None
+        self.restarts += 1
+        self.metrics.counter("restarts").inc()
+
+        self.memory.reset_process()
+        base = int(self.spec.memory_bytes * self.spec.base_memory_fraction)
+        if base:
+            self.memory.allocate(base, owner="base-footprint")
+        self._applied_penalty = 1.0
+        self.cpu.set_penalty(1.0)
+
+        self.runtime = Runtime(
+            self.kernel, node=self.node_id, cpu=self.cpu, disk=self.disk,
+            tracer=self._tracer,
+        )
+        self.endpoint = RpcEndpoint(
+            self.node_id,
+            self.network,
+            self.runtime,
+            parse_cost_ms=self.spec.rpc_parse_cost_ms,
+            parse_cost_per_kb_ms=self.spec.rpc_parse_cost_per_kb_ms,
+        )
+        self.wal = WriteAheadLog(self.runtime.io, name=f"{self.node_id}.wal")
+        self.network.restart(self.node_id, self.endpoint.inbox)
 
     # ------------------------------------------------------------------
     # Memory wiring

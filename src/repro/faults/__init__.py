@@ -9,12 +9,14 @@ follower is already fail-slow.
 """
 
 from repro.faults.catalog import TABLE1, FaultSpec, FaultType, fault_names
+from repro.faults.chaos import Nemesis
 from repro.faults.injector import FaultInjector
 from repro.faults.jitter import BackgroundJitter
 
 __all__ = [
     "BackgroundJitter",
     "FaultInjector",
+    "Nemesis",
     "FaultSpec",
     "FaultType",
     "TABLE1",

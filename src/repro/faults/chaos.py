@@ -1,0 +1,315 @@
+"""Nemesis: a seeded chaos orchestrator over the fault substrate.
+
+The paper's Table 1 injects one fail-slow fault at a time; real clusters
+see *compositions* — a follower crashes while another is disk-slow, a
+partition heals into a lossy link, the leader reboots mid-commit. The
+Nemesis schedules such compositions deterministically: **every random
+draw happens at plan time** (from one named RNG stream), so a schedule
+is a pure function of the seed and replays bit-identically. At run time
+events fire from kernel timers and consult only simulation state.
+
+Event kinds:
+
+* ``crash``/``restart`` — kill a process, then reboot it through
+  :func:`repro.raft.service.restart_raft_node` (durable-state recovery);
+* ``partition``/``heal`` — symmetric or one-node (asymmetric victim)
+  network splits; heals remove exactly the edges that partition cut, so
+  overlapping partitions compose;
+* ``loss`` — probabilistic per-link message loss for a window;
+* ``fault`` — a Table 1 fail-slow transient, delegated to
+  :class:`~repro.faults.injector.FaultInjector` (which queues overlaps).
+
+The optional **majority guardrail** skips any crash/partition that would
+leave fewer than a majority of the group healthy-and-connected — chaos
+schedules then probe every behaviour *except* expected unavailability,
+so liveness assertions stay meaningful. Skips are logged, not silent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.faults.catalog import TABLE1
+from repro.faults.injector import FaultInjector
+
+# Fault kinds a random schedule samples from (deterministic order).
+CHAOS_FAULTS = [
+    "cpu_slow",
+    "cpu_contention",
+    "disk_slow",
+    "disk_contention",
+    "network_slow",
+]
+
+
+class Nemesis:
+    """Deterministic chaos schedules against one Raft group."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        raft_nodes: Dict[str, object],
+        injector: Optional[FaultInjector] = None,
+        majority_guard: bool = True,
+    ):
+        self.cluster = cluster
+        self.raft_nodes = raft_nodes  # mutated in place by restarts
+        self.injector = injector or FaultInjector(cluster)
+        self.majority_guard = majority_guard
+        self.group = sorted(raft_nodes)
+        self.log: List[Tuple[float, str, str]] = []  # (t, kind, detail)
+        self.crashes = 0
+        self.restarts = 0
+        self.partitions = 0
+        self.heals = 0
+        self.skipped = 0
+        # node -> why it counts as down ("crashed" | "isolated").
+        self._down: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    # Schedule builders (call before cluster.run; draws happen here)
+    # ------------------------------------------------------------------
+    def schedule_crash_restart(
+        self, node_id: str, at_ms: float, down_ms: float
+    ) -> None:
+        """Kill ``node_id`` at ``at_ms``; reboot + recover ``down_ms`` later.
+
+        ``node_id`` may be the sentinel ``"__leader__"``, resolved to the
+        current leader when the event fires (still deterministic: leader
+        identity is simulation state, not randomness).
+        """
+        self.cluster.kernel.schedule_at(at_ms, self._do_crash, node_id, down_ms)
+
+    def schedule_partition(
+        self,
+        side_a: Sequence[str],
+        side_b: Sequence[str],
+        at_ms: float,
+        duration_ms: float,
+    ) -> None:
+        self.cluster.kernel.schedule_at(
+            at_ms, self._do_partition, list(side_a), list(side_b), duration_ms
+        )
+
+    def schedule_isolation(
+        self, node_id: str, at_ms: float, duration_ms: float
+    ) -> None:
+        """Cut one node (the minority side) off from the rest of the group."""
+        others = [peer for peer in self.group if peer != node_id]
+        self.schedule_partition([node_id], others, at_ms, duration_ms)
+
+    def schedule_link_loss(
+        self, src: str, dst: str, rate: float, at_ms: float, duration_ms: float
+    ) -> None:
+        self.cluster.kernel.schedule_at(
+            at_ms, self._do_loss, src, dst, rate, duration_ms
+        )
+
+    def schedule_fault(
+        self, node_id: str, spec_or_name, at_ms: float, duration_ms: float
+    ) -> None:
+        """A Table 1 fail-slow transient (queued by the injector on overlap)."""
+        self.injector.inject_transient(node_id, spec_or_name, at_ms, duration_ms)
+
+    def random_schedule(
+        self,
+        rng,
+        start_ms: float,
+        end_ms: float,
+        events: int = 10,
+        crash_weight: float = 0.3,
+        partition_weight: float = 0.3,
+        fault_weight: float = 0.3,
+        loss_weight: float = 0.1,
+    ) -> List[Tuple[float, str, str]]:
+        """Draw a mixed schedule now; returns (at_ms, kind, detail) plan.
+
+        All randomness is consumed here, in one pass, in a fixed order —
+        the returned plan (and therefore the whole run) is a pure
+        function of ``rng``'s seed. Durations may overlap: concurrent and
+        correlated faults are the point.
+        """
+        if end_ms <= start_ms:
+            raise ValueError("empty chaos window")
+        if len(self.group) < 2:
+            raise ValueError(
+                "chaos schedules need at least 2 nodes "
+                "(partitions and link loss are pairwise)"
+            )
+        weights = [crash_weight, partition_weight, fault_weight, loss_weight]
+        kinds = ["crash", "partition", "fault", "loss"]
+        span = end_ms - start_ms
+        plan: List[Tuple[float, str, str]] = []
+        for _ in range(events):
+            at_ms = start_ms + rng.uniform(0.0, span * 0.8)
+            kind = rng.choices(kinds, weights=weights, k=1)[0]
+            if kind == "crash":
+                victim = (
+                    "__leader__"
+                    if rng.random() < 0.4
+                    else rng.choice(self.group)
+                )
+                down_ms = rng.uniform(span * 0.05, span * 0.2)
+                self.schedule_crash_restart(victim, at_ms, down_ms)
+                plan.append((at_ms, "crash", f"{victim} down {down_ms:.0f}ms"))
+            elif kind == "partition":
+                duration_ms = rng.uniform(span * 0.05, span * 0.25)
+                if rng.random() < 0.5 or len(self.group) < 5:
+                    victim = rng.choice(self.group)
+                    self.schedule_isolation(victim, at_ms, duration_ms)
+                    plan.append(
+                        (at_ms, "isolate", f"{victim} for {duration_ms:.0f}ms")
+                    )
+                else:
+                    shuffled = list(self.group)
+                    rng.shuffle(shuffled)
+                    minority = len(self.group) // 2
+                    side_a, side_b = shuffled[:minority], shuffled[minority:]
+                    self.schedule_partition(side_a, side_b, at_ms, duration_ms)
+                    plan.append(
+                        (
+                            at_ms,
+                            "partition",
+                            f"{'/'.join(side_a)} vs {'/'.join(side_b)} "
+                            f"for {duration_ms:.0f}ms",
+                        )
+                    )
+            elif kind == "fault":
+                victim = rng.choice(self.group)
+                fault = rng.choice(CHAOS_FAULTS)
+                duration_ms = rng.uniform(span * 0.1, span * 0.3)
+                self.schedule_fault(victim, TABLE1[fault], at_ms, duration_ms)
+                plan.append(
+                    (at_ms, "fault", f"{fault} on {victim} for {duration_ms:.0f}ms")
+                )
+            else:  # loss
+                src, dst = rng.sample(self.group, 2)
+                rate = rng.uniform(0.05, 0.3)
+                duration_ms = rng.uniform(span * 0.1, span * 0.3)
+                self.schedule_link_loss(src, dst, rate, at_ms, duration_ms)
+                plan.append(
+                    (
+                        at_ms,
+                        "loss",
+                        f"{src}<->{dst} p={rate:.2f} for {duration_ms:.0f}ms",
+                    )
+                )
+        return sorted(plan)
+
+    # ------------------------------------------------------------------
+    # Guardrail
+    # ------------------------------------------------------------------
+    def _healthy_after(self, newly_down: Sequence[str]) -> bool:
+        down = set(self._down) | set(newly_down)
+        down |= {node_id for node_id in self.group if self.cluster.node(node_id).crashed}
+        healthy = len(self.group) - len(down & set(self.group))
+        return healthy >= len(self.group) // 2 + 1
+
+    def _skip(self, kind: str, detail: str) -> None:
+        self.skipped += 1
+        self.log.append((self.cluster.kernel.now, f"skip-{kind}", detail))
+
+    # ------------------------------------------------------------------
+    # Event callbacks (no randomness below this line)
+    # ------------------------------------------------------------------
+    def _resolve(self, node_id: str) -> str:
+        if node_id != "__leader__":
+            return node_id
+        from repro.raft.service import find_leader
+
+        leader = find_leader(self.raft_nodes)
+        if leader is not None:
+            return leader.node.node_id
+        # No leader right now: pick the first healthy member (deterministic).
+        for candidate in self.group:
+            if not self.cluster.node(candidate).crashed:
+                return candidate
+        return self.group[0]
+
+    def _do_crash(self, node_id: str, down_ms: float) -> None:
+        node_id = self._resolve(node_id)
+        node = self.cluster.node(node_id)
+        if node.crashed:
+            self._skip("crash", f"{node_id} already down")
+            return
+        if self.majority_guard and not self._healthy_after([node_id]):
+            self._skip("crash", f"{node_id} would break majority")
+            return
+        node.crash(reason="nemesis")
+        self._down[node_id] = "crashed"
+        self.crashes += 1
+        self.log.append((self.cluster.kernel.now, "crash", node_id))
+        self.cluster.kernel.schedule(down_ms, self._do_restart, node_id)
+
+    def _do_restart(self, node_id: str) -> None:
+        node = self.cluster.node(node_id)
+        if not node.crashed:
+            return  # already brought back (e.g. by the campaign's final heal)
+        from repro.raft.service import restart_raft_node
+
+        restart_raft_node(self.cluster, self.raft_nodes, node_id)
+        self._down.pop(node_id, None)
+        self.restarts += 1
+        self.log.append((self.cluster.kernel.now, "restart", node_id))
+
+    def _do_partition(
+        self, side_a: List[str], side_b: List[str], duration_ms: float
+    ) -> None:
+        minority = side_a if len(side_a) <= len(side_b) else side_b
+        if self.majority_guard and not self._healthy_after(minority):
+            self._skip("partition", f"{'/'.join(minority)} would break majority")
+            return
+        # Cut exactly the edges not already cut, so the paired heal undoes
+        # this partition and only this partition.
+        cut: List[Tuple[str, str]] = []
+        for a in side_a:
+            for b in side_b:
+                for src, dst in ((a, b), (b, a)):
+                    if not self.cluster.network.is_blocked(src, dst):
+                        self.cluster.network.block(src, dst, symmetric=False)
+                        cut.append((src, dst))
+        for node_id in minority:
+            self._down.setdefault(node_id, "isolated")
+        self.partitions += 1
+        detail = f"{'/'.join(sorted(side_a))} | {'/'.join(sorted(side_b))}"
+        self.log.append((self.cluster.kernel.now, "partition", detail))
+        self.cluster.kernel.schedule(duration_ms, self._do_heal, cut, list(minority))
+
+    def _do_heal(self, cut: List[Tuple[str, str]], minority: List[str]) -> None:
+        for src, dst in cut:
+            self.cluster.network.unblock(src, dst, symmetric=False)
+        for node_id in minority:
+            if self._down.get(node_id) == "isolated":
+                del self._down[node_id]
+        self.heals += 1
+        self.log.append((self.cluster.kernel.now, "heal", "/".join(sorted(minority))))
+
+    def _do_loss(self, src: str, dst: str, rate: float, duration_ms: float) -> None:
+        self.cluster.network.set_loss_rate(src, dst, rate, symmetric=True)
+        self.log.append(
+            (self.cluster.kernel.now, "loss", f"{src}<->{dst} p={rate:.2f}")
+        )
+        self.cluster.kernel.schedule(duration_ms, self._end_loss, src, dst)
+
+    def _end_loss(self, src: str, dst: str) -> None:
+        self.cluster.network.set_loss_rate(src, dst, 0.0, symmetric=True)
+        self.log.append((self.cluster.kernel.now, "loss-end", f"{src}<->{dst}"))
+
+    # ------------------------------------------------------------------
+    # Final convergence support
+    # ------------------------------------------------------------------
+    def heal_everything(self) -> None:
+        """End-of-run cleanup: heal the network and reboot crashed nodes.
+
+        Active fail-slow faults are left to their transient timers (they
+        always expire); partitions, loss and crashes are undone now so
+        the cluster can converge for the safety checks.
+        """
+        self.cluster.network.heal()
+        self.cluster.network.clear_loss()
+        for node_id in list(self.group):
+            if self.cluster.node(node_id).crashed:
+                self._do_restart(node_id)
+        self._down.clear()
+        self.log.append((self.cluster.kernel.now, "heal-all", ""))

@@ -1,8 +1,23 @@
-"""Applies, schedules and clears fail-slow faults on cluster nodes."""
+"""Applies, schedules and clears fail-slow faults on cluster nodes.
+
+Two disciplines matter for chaos schedules:
+
+* **Queueing** — a scheduled fault that fires while the node already has
+  an active fault is *queued*, not raised: it applies the moment the
+  active fault clears, keeping its own duration. Seeded nemesis schedules
+  can therefore overlap transients freely without killing the simulation
+  from inside a kernel callback. (Direct :meth:`FaultInjector.inject` on a
+  busy node still raises — that is caller misuse, not a schedule race.)
+* **Exact save/restore** — injection snapshots the knob's prior value and
+  :meth:`FaultInjector.clear` restores exactly that, so healing is exact
+  even when the pre-fault value was not the default (e.g. a non-default
+  memory limit, or background jitter on the CPU).
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.cluster.cluster import Cluster
 from repro.faults.catalog import SOFTWARE_FAULTS, TABLE1, FaultSpec, FaultType
@@ -16,6 +31,15 @@ class FaultInjector:
         # node_id -> active fault spec (one fault per node, like the paper).
         self.active: Dict[str, FaultSpec] = {}
         self.history: List[Tuple[float, str, str, str]] = []  # (t, node, fault, action)
+        # Knob values saved at injection time, restored exactly on clear.
+        self._saved: Dict[str, Dict[str, float]] = {}
+        # Scheduled faults that arrived while the node was busy, in FIFO
+        # order: (spec, duration_ms or None for permanent).
+        self._queued: Dict[str, Deque[Tuple[FaultSpec, Optional[float]]]] = {}
+        # Per-node application counter: transient-end timers only clear the
+        # injection they were armed for (specs are shared catalog objects,
+        # so identity cannot distinguish two injections of the same fault).
+        self._epoch: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Immediate injection
@@ -28,73 +52,138 @@ class FaultInjector:
                 f"node {node_id} already has fault "
                 f"{self.active[node_id].fault_type.value}; clear it first"
             )
+        self._apply(node_id, spec)
+
+    def _apply(self, node_id: str, spec: FaultSpec) -> None:
         node = self.cluster.node(node_id)
         kind = spec.fault_type
         if kind == FaultType.NONE:
             return
         if kind == FaultType.CPU_SLOW:
+            self._saved[node_id] = {"quota": node.cpu.quota}
             node.cpu.set_quota(spec.param("quota"))
         elif kind == FaultType.CPU_CONTENTION:
+            self._saved[node_id] = {"contender_share": node.cpu.contender_share}
             node.cpu.set_contender_share(spec.param("contender_share"))
         elif kind == FaultType.DISK_SLOW:
+            self._saved[node_id] = {"cap_fraction": node.disk.cap_fraction}
             node.disk.set_cap_fraction(spec.param("cap_fraction"))
         elif kind == FaultType.DISK_CONTENTION:
+            self._saved[node_id] = {"contender_load": node.disk.contender_load}
             node.disk.set_contender_load(spec.param("contender_load"))
         elif kind == FaultType.MEMORY_CONTENTION:
+            self._saved[node_id] = {"limit_bytes": float(node.memory.limit_bytes)}
             limit = int(node.spec.memory_bytes * spec.param("limit_fraction"))
             node.memory.set_limit(limit)
         elif kind == FaultType.NETWORK_SLOW:
+            self._saved[node_id] = {"extra_delay_ms": node.nic.extra_delay_ms}
             node.nic.set_extra_delay(spec.param("delay_ms"))
         elif kind == FaultType.DEBUG_LOGGING:
+            self._saved[node_id] = {
+                "parse_cost_ms": node.endpoint.parse_cost_ms,
+                "parse_cost_per_kb_ms": node.endpoint.parse_cost_per_kb_ms,
+            }
             multiplier = spec.param("parse_cost_multiplier")
             node.endpoint.parse_cost_ms *= multiplier
             node.endpoint.parse_cost_per_kb_ms *= multiplier
         else:  # pragma: no cover - exhaustive over enum
             raise ValueError(f"unhandled fault type {kind}")
         self.active[node_id] = spec
+        self._epoch[node_id] = self._epoch.get(node_id, 0) + 1
         self.history.append((self.cluster.kernel.now, node_id, kind.value, "inject"))
 
     def clear(self, node_id: str) -> None:
-        """Remove the node's active fault, restoring healthy resources."""
+        """Remove the node's active fault, restoring the saved knob values.
+
+        If scheduled faults queued up behind the active one, the next in
+        line is applied immediately (with its own duration, if transient).
+        """
         spec = self.active.pop(node_id, None)
         if spec is None:
             return
         node = self.cluster.node(node_id)
         kind = spec.fault_type
+        saved = self._saved.pop(node_id, {})
         if kind == FaultType.CPU_SLOW:
-            node.cpu.set_quota(1.0)
+            node.cpu.set_quota(saved.get("quota", 1.0))
         elif kind == FaultType.CPU_CONTENTION:
-            node.cpu.set_contender_share(0.0)
+            node.cpu.set_contender_share(saved.get("contender_share", 0.0))
         elif kind == FaultType.DISK_SLOW:
-            node.disk.set_cap_fraction(1.0)
+            node.disk.set_cap_fraction(saved.get("cap_fraction", 1.0))
         elif kind == FaultType.DISK_CONTENTION:
-            node.disk.set_contender_load(0.0)
+            node.disk.set_contender_load(saved.get("contender_load", 0.0))
         elif kind == FaultType.MEMORY_CONTENTION:
-            node.memory.set_limit(node.spec.memory_bytes)
+            node.memory.set_limit(int(saved.get("limit_bytes", node.spec.memory_bytes)))
         elif kind == FaultType.NETWORK_SLOW:
-            node.nic.set_extra_delay(0.0)
+            node.nic.set_extra_delay(saved.get("extra_delay_ms", 0.0))
         elif kind == FaultType.DEBUG_LOGGING:
-            multiplier = spec.param("parse_cost_multiplier")
-            node.endpoint.parse_cost_ms /= multiplier
-            node.endpoint.parse_cost_per_kb_ms /= multiplier
+            node.endpoint.parse_cost_ms = saved.get(
+                "parse_cost_ms", node.spec.rpc_parse_cost_ms
+            )
+            node.endpoint.parse_cost_per_kb_ms = saved.get(
+                "parse_cost_per_kb_ms", node.spec.rpc_parse_cost_per_kb_ms
+            )
         self.history.append((self.cluster.kernel.now, node_id, kind.value, "clear"))
+        self._pop_queued(node_id)
 
     # ------------------------------------------------------------------
     # Scheduled / transient faults
     # ------------------------------------------------------------------
     def inject_at(self, node_id: str, spec_or_name, at_ms: float) -> None:
         spec = self._resolve(spec_or_name)
-        self.cluster.kernel.schedule_at(at_ms, self.inject, node_id, spec)
+        self.cluster.kernel.schedule_at(at_ms, self._start_scheduled, node_id, spec, None)
 
     def inject_transient(
         self, node_id: str, spec_or_name, at_ms: float, duration_ms: float
     ) -> None:
-        """Fault appears at ``at_ms`` and clears ``duration_ms`` later."""
+        """Fault appears at ``at_ms`` and clears ``duration_ms`` later.
+
+        Overlapping schedules on the same node are queued: a transient
+        firing while another fault is active starts when that fault clears
+        and still lasts its full ``duration_ms``.
+        """
         if duration_ms <= 0:
             raise ValueError("transient fault needs positive duration")
         spec = self._resolve(spec_or_name)
-        self.cluster.kernel.schedule_at(at_ms, self.inject, node_id, spec)
-        self.cluster.kernel.schedule_at(at_ms + duration_ms, self.clear, node_id)
+        self.cluster.kernel.schedule_at(
+            at_ms, self._start_scheduled, node_id, spec, duration_ms
+        )
+
+    def _start_scheduled(
+        self, node_id: str, spec: FaultSpec, duration_ms: Optional[float]
+    ) -> None:
+        if node_id in self.active:
+            self._queued.setdefault(node_id, deque()).append((spec, duration_ms))
+            self.history.append(
+                (self.cluster.kernel.now, node_id, spec.fault_type.value, "queued")
+            )
+            return
+        self._apply(node_id, spec)
+        if duration_ms is not None:
+            self.cluster.kernel.schedule(
+                duration_ms, self._end_transient, node_id, self._epoch[node_id]
+            )
+
+    def _end_transient(self, node_id: str, epoch: int) -> None:
+        # Only clear the injection this timer was armed for; a manual clear
+        # (or a queued successor) may already have replaced it.
+        if node_id in self.active and self._epoch.get(node_id) == epoch:
+            self.clear(node_id)
+
+    def _pop_queued(self, node_id: str) -> None:
+        queue = self._queued.get(node_id)
+        if not queue:
+            return
+        spec, duration_ms = queue.popleft()
+        self._apply(node_id, spec)
+        if duration_ms is not None:
+            self.cluster.kernel.schedule(
+                duration_ms, self._end_transient, node_id, self._epoch[node_id]
+            )
+
+    def queued_count(self, node_id: str) -> int:
+        """Scheduled faults waiting behind the node's active fault."""
+        return len(self._queued.get(node_id, ()))
 
     def fault_on(self, node_id: str) -> Optional[FaultSpec]:
         return self.active.get(node_id)

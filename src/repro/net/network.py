@@ -10,7 +10,12 @@ Model summary (per ordered node pair = one :class:`Connection`):
   propagation (+ jitter) + receiver NIC delay; serialization is pipelined
   per connection (a long message delays the next one's start);
 * crashing a node drops its queued and in-flight traffic and instantly
-  releases peers' windows (connection reset).
+  releases peers' windows (connection reset); :meth:`Network.restart`
+  re-attaches a recovered process (fresh inbox, reset connections);
+* the chaos fault model adds network **partitions** (ordered pairs of
+  nodes whose traffic is silently dropped — symmetric or asymmetric) and
+  probabilistic per-link **message loss**; both act at delivery time, so
+  packets in flight when a partition starts are lost too.
 
 The per-node NIC delay is where the Table 1 network-slow fault (+400 ms)
 is injected.
@@ -18,7 +23,8 @@ is injected.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Tuple
+import random
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.net.buffers import SendBuffer
 from repro.net.inbox import Inbox
@@ -77,9 +83,13 @@ class Connection:
             src.node, dst.node, memory=src.memory, max_bytes=src.buffer_limit
         )
         self._tx_free_at = 0.0
+        # Messages transmitted before this time are stale (their TCP
+        # connection was reset by a crash/restart) and drop on delivery.
+        self.reset_since = -1.0
         self.sent = 0
         self.delivered = 0
         self.discarded = 0
+        self.dropped = 0  # partition / loss / reset drops
 
     # ------------------------------------------------------------------
     # Sending
@@ -128,12 +138,25 @@ class Connection:
             # Connection reset: the bytes are gone, window is released.
             self._release(message)
             return
+        if message.sent_at is not None and message.sent_at < self.reset_since:
+            # Sent on a connection that has since been reset (an endpoint
+            # crashed and recovered): the segment belongs to a dead socket.
+            self.dropped += 1
+            self._release(message)
+            return
+        if self.network.drops_on_delivery(self.src.node, self.dst.node):
+            # Partitioned link or probabilistic loss: silently dropped.
+            self.dropped += 1
+            self._release(message)
+            return
         message.delivered_at = self.network.kernel.now
         self.delivered += 1
         self.dst.inbox.put(message, ack=lambda: self._release(message))
 
     def _release(self, message: Message) -> None:
-        self.in_flight -= message.size_bytes
+        # max() guards against stale in-flight releases racing a restart's
+        # accounting reset.
+        self.in_flight = max(0, self.in_flight - message.size_bytes)
         self._pump()
 
     def _window_admits(self, size_bytes: int) -> bool:
@@ -153,8 +176,10 @@ class Connection:
                 self._transmit(message)
 
     def reset(self) -> None:
-        """Drop all queued traffic (either side crashed)."""
+        """Drop all queued traffic and invalidate in-flight segments."""
         self.buffer.drain_all()
+        self.reset_since = self.network.kernel.now
+        self.in_flight = 0
 
 
 class Network:
@@ -168,6 +193,11 @@ class Network:
         self._links: Dict[Tuple[str, str], Link] = {}
         self._connections: Dict[Tuple[str, str], Connection] = {}
         self._window_bytes = DEFAULT_WINDOW_BYTES
+        # Chaos fault state: ordered pairs whose traffic is cut, and
+        # per-ordered-pair probabilistic loss rates.
+        self._blocked: Set[Tuple[str, str]] = set()
+        self._loss_rates: Dict[Tuple[str, str], float] = {}
+        self._loss_rng: Optional[random.Random] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -232,8 +262,94 @@ class Network:
             if src == node or dst == node:
                 conn.reset()
 
+    def restart(self, node: str, inbox: Inbox) -> None:
+        """Re-attach a recovered process: fresh inbox, reset connections.
+
+        Every connection touching the node is reset again at restart time,
+        so segments sent by peers while the node was down (or by its dead
+        predecessor process) can never be delivered to the new process.
+        """
+        endpoint = self._require(node)
+        if not endpoint.crashed:
+            raise ValueError(f"node {node!r} is not crashed")
+        endpoint.crashed = False
+        endpoint.inbox = inbox
+        for (src, dst), conn in self._connections.items():
+            if src == node or dst == node:
+                conn.reset()
+
     def is_crashed(self, node: str) -> bool:
         return self._require(node).crashed
+
+    # ------------------------------------------------------------------
+    # Partitions and message loss (the chaos fault substrate)
+    # ------------------------------------------------------------------
+    def use_loss_rng(self, rng: random.Random) -> None:
+        """Install the seeded RNG stream that loss decisions draw from."""
+        self._loss_rng = rng
+
+    def block(self, src: str, dst: str, symmetric: bool = True) -> None:
+        """Cut traffic from ``src`` to ``dst`` (both ways if symmetric)."""
+        self._require(src)
+        self._require(dst)
+        self._blocked.add((src, dst))
+        if symmetric:
+            self._blocked.add((dst, src))
+
+    def unblock(self, src: str, dst: str, symmetric: bool = True) -> None:
+        self._blocked.discard((src, dst))
+        if symmetric:
+            self._blocked.discard((dst, src))
+
+    def partition(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Cut every link between the two sides (symmetric partition)."""
+        for a in side_a:
+            for b in side_b:
+                if a != b:
+                    self.block(a, b, symmetric=True)
+
+    def isolate(self, node: str) -> None:
+        """Cut the node off from every other attached endpoint."""
+        others = [peer for peer in self._endpoints if peer != node]
+        self.partition([node], others)
+
+    def heal(self) -> None:
+        """Remove every partition (loss rates are cleared separately)."""
+        self._blocked.clear()
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
+
+    def partitioned_pairs(self) -> Set[Tuple[str, str]]:
+        return set(self._blocked)
+
+    def set_loss_rate(self, src: str, dst: str, rate: float, symmetric: bool = True) -> None:
+        """Drop each ``src``→``dst`` message independently with ``rate``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        pairs = [(src, dst), (dst, src)] if symmetric else [(src, dst)]
+        for pair in pairs:
+            if rate == 0.0:
+                self._loss_rates.pop(pair, None)
+            else:
+                self._loss_rates[pair] = rate
+
+    def clear_loss(self) -> None:
+        self._loss_rates.clear()
+
+    def drops_on_delivery(self, src: str, dst: str) -> bool:
+        """Decide (at delivery time) whether this message is lost."""
+        if (src, dst) in self._blocked:
+            return True
+        rate = self._loss_rates.get((src, dst))
+        if rate:
+            if self._loss_rng is None:
+                raise RuntimeError(
+                    "message loss configured but no loss RNG installed; "
+                    "call Network.use_loss_rng(...) first"
+                )
+            return self._loss_rng.random() < rate
+        return False
 
     def buffered_bytes_from(self, node: str) -> int:
         """Total send-buffer backlog at ``node`` (the §2.2 backlog metric)."""

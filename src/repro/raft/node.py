@@ -30,6 +30,7 @@ from repro.net.rpc import QuorumCall
 from repro.raft.config import RaftConfig
 from repro.raft.log import RaftLog
 from repro.raft.types import LogEntry, Role, entries_size
+from repro.storage.durable import DurableRaftState
 from repro.storage.kvstore import KvStore
 
 
@@ -53,6 +54,8 @@ class RaftNode:
         config: Optional[RaftConfig] = None,
         rng: Optional[random.Random] = None,
         state_machine: Optional[KvStore] = None,
+        durable: Optional[DurableRaftState] = None,
+        state_machine_factory=None,
     ):
         if node.node_id not in group:
             raise ValueError(f"{node.node_id} not in group {group}")
@@ -67,7 +70,12 @@ class RaftNode:
         self.rt = node.runtime
         self.ep = node.endpoint
 
-        # Persistent-ish state.
+        # Persistent state: mirrored into ``durable`` (simulated stable
+        # storage) so a crash–restart can recover it. Term/vote updates are
+        # persisted immediately (metadata writes); log entries only count
+        # as durable once the WAL fsync covering them completes.
+        self.durable = durable if durable is not None else DurableRaftState(node.node_id)
+        self.state_machine_factory = state_machine_factory
         self.term = 0
         self.voted_for: Optional[str] = None
         self.role = Role.FOLLOWER
@@ -78,6 +86,9 @@ class RaftNode:
         self.kv = state_machine if state_machine is not None else KvStore()
         self.commit_index = 0
         self.last_applied = 0
+        self.recovered = False
+        if self.durable.has_state():
+            self._recover_from_durable()
 
         # Leader volatile state. ``_sent_index`` tracks stream contiguity
         # (last index sent on the direct FIFO stream, acked or not);
@@ -114,6 +125,13 @@ class RaftNode:
         self.last_leader_pending = 0
         self.suspected_leader: Optional[str] = None
 
+        # Highest log index proven consistent with the current term's
+        # leader (by a passed AppendEntries check). A bare heartbeat may
+        # only advance commit_index up to here: beyond it this node could
+        # hold a stale uncommitted tail from an older leader, and
+        # committing that tail would apply the wrong entries.
+        self._verified_index = 0
+
         # Read path (read_index / lease modes) and compaction state.
         self._lease_until = -1.0
         self.reads_served = 0
@@ -127,6 +145,7 @@ class RaftNode:
         self.ep.register("client_request", self._on_client_request)
         self.ep.register("read_probe", self._on_read_probe)
         self.ep.register("install_snapshot", self._on_install_snapshot)
+        self.ep.register("lag_report", self._on_lag_report)
 
     # ==================================================================
     # Lifecycle
@@ -134,6 +153,50 @@ class RaftNode:
     def start(self) -> None:
         self.node.start()
         self.rt.spawn(self._main_loop(), name=f"{self.id}:raft-main")
+
+    def _recover_from_durable(self) -> None:
+        """Crash recovery: snapshot load + WAL replay from stable storage.
+
+        Restores term/vote, the snapshotted state machine and the durable
+        log suffix. ``commit_index`` restarts at the snapshot base — like
+        real Raft, commit progress is re-learned from the leader (or
+        re-established by this node committing a no-op if it wins an
+        election).
+        """
+        self.durable.recoveries += 1
+        self.recovered = True
+        self.term = self.durable.term
+        self.voted_for = self.durable.voted_for
+        if self.durable.snapshot is not None:
+            self.kv.restore_state(self.durable.snapshot)
+            self.log.reset_to_snapshot(
+                self.durable.snapshot_index, self.durable.snapshot_term
+            )
+        for entry in self.durable.recovered_entries():
+            self.log.append(entry)
+        self.commit_index = self.log.base_index
+        self.last_applied = self.log.base_index
+
+    def _persist_term(self) -> None:
+        self.durable.save_term(self.term, self.voted_for)
+
+    def _stage_durable(self, entries: List[LogEntry]):
+        """WAL-append ``entries`` and return the fsync event to wait on.
+
+        The durable store marks them recoverable only when the fsync
+        completes — and only if the process is still alive to observe it
+        (a flush racing a crash did not make it to the platter).
+        """
+        self.node.wal.append(entries_size(entries))
+        self.durable.stage_entries(entries)
+        covered = self.durable.begin_sync()
+        sync = self.node.wal.sync()
+        sync.subscribe(
+            lambda _ev, _covered=covered: (
+                None if self.node.crashed else self.durable.commit_sync(_covered)
+            )
+        )
+        return sync
 
     def is_leader(self) -> bool:
         return self.role == Role.LEADER and not self.node.crashed
@@ -179,6 +242,7 @@ class RaftNode:
         self.term += 1
         term = self.term
         self.voted_for = self.id
+        self._persist_term()
         self.elections_started += 1
         if not self.peers:
             self._become_leader(term)
@@ -220,6 +284,14 @@ class RaftNode:
         self._sent_index = {peer: last for peer in self.peers}
         self._repairing = set()
         self._catchup_promises = []
+        if self.log.last_index() > self.commit_index:
+            # Uncommitted tail inherited from a previous term (or replayed
+            # from the WAL after a crash): Raft may only commit it behind
+            # an entry of the *current* term, so queue a no-op to drive
+            # the commit index forward even if no client traffic arrives.
+            self._pending_ops.append(
+                _PendingOp(("noop",), ValueEvent(name=f"{self.id}:noop"))
+            )
         self.rt.spawn(self._batcher(term), name=f"{self.id}:batcher@{term}")
         if self.peers:
             self.rt.spawn(self._heartbeat_loop(term), name=f"{self.id}:heartbeats@{term}")
@@ -232,6 +304,10 @@ class RaftNode:
         if term > self.term:
             self.term = term
             self.voted_for = None
+            self._persist_term()
+            # Consistency proven against the old term's leader says nothing
+            # about the new one's log; re-prove before trusting heartbeats.
+            self._verified_index = 0
             if self.role != Role.FOLLOWER:
                 self.role = Role.FOLLOWER
                 if self._step_down is not None and not self._step_down.ready():
@@ -274,8 +350,7 @@ class RaftNode:
             # when any majority of the *group* holds the batch. This is
             # Figure 2's "2/3" wait — and it even tolerates the leader's
             # own disk being the slow member.
-            self.node.wal.append(entries_size(entries))
-            local_sync = self.node.wal.sync()
+            local_sync = self._stage_durable(entries)
             quorum = QuorumEvent(
                 self.majority,
                 n_total=len(self.group),
@@ -495,11 +570,28 @@ class RaftNode:
         self._applying = True
         try:
             while self.last_applied < self.commit_index:
-                take = min(self.commit_index - self.last_applied, 128)
+                # commit_index may run ahead of the local log (a snapshot
+                # install learned a higher commit point than the entries we
+                # hold): apply only what is locally present and let the
+                # next append/repair resume the rest.
+                take = min(
+                    self.commit_index - self.last_applied,
+                    self.log.last_index() - self.last_applied,
+                    128,
+                )
+                if take <= 0:
+                    break
                 yield self.rt.compute(
                     take * self.config.apply_cost_ms, name="apply"
                 )
                 for _ in range(take):
+                    # A snapshot install during the compute yield may have
+                    # jumped last_applied forward and truncated the log.
+                    if (
+                        self.last_applied >= self.commit_index
+                        or self.last_applied >= self.log.last_index()
+                    ):
+                        break
                     self.last_applied += 1
                     entry = self.log.entry_at(self.last_applied)
                     result = self.kv.apply(entry.op)
@@ -551,11 +643,13 @@ class RaftNode:
             changed = self.log.append_or_overwrite(entries)
             if changed > 0:
                 new_entries = entries[-changed:]
-                self.node.wal.append(entries_size(new_entries))
-                sync = self.node.wal.sync()
+                sync = self._stage_durable(new_entries)
                 yield sync.wait()
-            yield from self._advance_commit(payload["commit"])
             match = entries[-1].index if entries else payload["prev_index"]
+            self._verified_index = max(self._verified_index, match)
+            # Raft §5.3: cap at the last entry this RPC verified — the log
+            # may extend further with a stale tail we must not commit.
+            yield from self._advance_commit(min(payload["commit"], match))
             return {"term": self.term, "success": True, "match": match}
         finally:
             my_gate.trigger(self.rt.now)
@@ -569,7 +663,28 @@ class RaftNode:
         self.last_leader_pending = payload.get("pending", 0)
         if payload["leader"] != self.suspected_leader:
             self._poke_heartbeat()
-        yield from self._advance_commit(payload["commit"])
+        safe_commit = max(self.commit_index, self._verified_index)
+        yield from self._advance_commit(min(payload["commit"], safe_commit))
+        if payload["commit"] > safe_commit and self.role == Role.FOLLOWER:
+            # The leader has committed past what we verifiably hold: ask it
+            # to repair us. Without this, a follower that missed entries
+            # while partitioned or rebooting never catches up in a quiet
+            # cluster (nothing nacks if no new appends flow).
+            self.ep.notify(
+                payload["leader"],
+                "lag_report",
+                {"term": self.term, "last_index": safe_commit},
+                size_bytes=24,
+            )
+        return None
+
+    def _on_lag_report(self, payload: Dict[str, Any], src: str) -> Generator:
+        self._observe_term(payload["term"], leader=None)
+        if self.role == Role.LEADER and payload["term"] == self.term:
+            last = payload["last_index"]
+            self._next_index[src] = max(1, min(self._next_index.get(src, last + 1), last + 1))
+            self._mark_stream_broken(src, self.term)
+        yield self.rt.compute(0.01, name="lag-report")
         return None
 
     def _advance_commit(self, leader_commit: int) -> Generator:
@@ -589,6 +704,7 @@ class RaftNode:
             payload["last_term"], payload["last_index"]
         ):
             self.voted_for = candidate
+            self._persist_term()
             granted = True
             self._poke_heartbeat()  # voting resets our own election timer
         yield self.rt.compute(0.02, name="vote")
@@ -627,6 +743,17 @@ class RaftNode:
         exactly).
         """
         cfg = self.config
+        # A fresh leader's commit_index may trail entries an earlier leader
+        # already acknowledged (the inherited tail). Serving a read below
+        # them would be stale, so wait until an entry of our own term has
+        # committed — the no-op queued at election drives this forward.
+        while self.role == Role.LEADER and not (
+            self.commit_index >= self.log.last_index()
+            or self.log.term_at(self.commit_index) == self.term
+        ):
+            yield self.rt.sleep(0.5)
+        if self.role != Role.LEADER:
+            return {"ok": False, "redirect": self.leader_hint}
         read_index = self.commit_index
         if not (cfg.read_mode == "lease" and self.rt.now < self._lease_until):
             confirmed = yield from self._confirm_leadership()
@@ -690,6 +817,9 @@ class RaftNode:
         # the state machine); the in-memory log is compacted immediately.
         self.node.runtime.io.write(self.kv.estimated_bytes())
         self.log.truncate_prefix(new_base)
+        self.durable.save_snapshot(
+            self.log.base_index, self.log.base_term, self.kv.snapshot_state()
+        )
         self.snapshots_taken += 1
 
     def _send_snapshot(self, peer: str, term: int) -> Generator:
@@ -737,8 +867,13 @@ class RaftNode:
         yield sync.wait()
         self.kv.restore_state(payload["state"])
         self.log.reset_to_snapshot(last_index, payload["last_term"])
+        self.durable.clear_log()
+        self.durable.save_snapshot(
+            last_index, payload["last_term"], self.kv.snapshot_state()
+        )
         self.commit_index = max(self.commit_index, last_index)
         self.last_applied = last_index
+        self._verified_index = max(self._verified_index, last_index)
         self.snapshots_installed += 1
         return {"term": self.term, "success": True, "match": last_index}
 

@@ -1,4 +1,4 @@
-"""Deployment helpers for DepFastRaft groups."""
+"""Deployment helpers for DepFastRaft groups: deploy, restart, converge."""
 
 from __future__ import annotations
 
@@ -9,6 +9,7 @@ from repro.cluster.node import NodeSpec
 from repro.raft.config import RaftConfig
 from repro.raft.node import RaftNode
 from repro.raft.types import Role
+from repro.storage.durable import DurableRaftState
 
 # DepFastRaft is a fail-slow-aware implementation: bounded send buffers
 # (4 MB per connection) on top of the quorum-discard framework policy.
@@ -45,10 +46,41 @@ def deploy_depfast_raft(
             config=config,
             rng=cluster.rng.stream(f"raft:{node_id}"),
             state_machine=state_machine_factory() if state_machine_factory else None,
+            durable=DurableRaftState(node_id),
+            state_machine_factory=state_machine_factory,
         )
     for raft_node in raft_nodes.values():
         raft_node.start()
     return raft_nodes
+
+
+def restart_raft_node(
+    cluster: Cluster, raft_nodes: Dict[str, RaftNode], node_id: str
+) -> RaftNode:
+    """Bring a crashed group member back: reboot + recovery.
+
+    The machine restarts (fresh process, reset connections), then a new
+    :class:`RaftNode` recovers from the old one's durable state —
+    snapshot load + WAL replay, persisted term and vote. The entry in
+    ``raft_nodes`` is replaced in place so callers holding the dict see
+    the recovered node.
+    """
+    old = raft_nodes[node_id]
+    node = cluster.node(node_id)
+    node.restart()
+    factory = old.state_machine_factory
+    recovered = RaftNode(
+        node,
+        old.group,
+        config=old.config,
+        rng=old.rng,  # continue the same seeded stream: runs stay reproducible
+        state_machine=factory() if factory else None,
+        durable=old.durable,
+        state_machine_factory=factory,
+    )
+    raft_nodes[node_id] = recovered
+    recovered.start()
+    return recovered
 
 
 def find_leader(raft_nodes: Dict[str, RaftNode]) -> Optional[RaftNode]:

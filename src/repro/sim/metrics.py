@@ -124,9 +124,12 @@ class LatencyRecorder:
             rank = max(1, math.ceil(p / 100.0 * len(ordered)))
             return ordered[rank - 1]
 
+        # Clamp the mean into [min, max]: naive summation can land 1 ulp
+        # outside the sample range (e.g. three identical samples).
+        mean = min(max(math.fsum(ordered) / len(ordered), ordered[0]), ordered[-1])
         return LatencySummary(
             count=len(ordered),
-            mean=sum(ordered) / len(ordered),
+            mean=mean,
             p50=pct(50),
             p99=pct(99),
             minimum=ordered[0],

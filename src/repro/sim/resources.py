@@ -311,6 +311,17 @@ class MemoryResource:
         self.limit_bytes = min(limit_bytes, self.capacity_bytes)
         self._check_pressure()
 
+    def reset_process(self) -> None:
+        """Forget all allocations: the owning process died and restarted.
+
+        The *limit* is left untouched — a cgroup cap (memory-contention
+        fault) outlives the process it throttles.
+        """
+        self.used = 0
+        self._by_owner.clear()
+        self._oom_fired = False
+        self._check_pressure()
+
     def allocate(self, n_bytes: int, owner: str = "anon") -> None:
         if n_bytes < 0:
             raise ValueError("cannot allocate a negative size")

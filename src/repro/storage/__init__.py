@@ -7,8 +7,9 @@ force the leader into synchronous disk reads — the first root-cause
 pattern of §2.2.
 """
 
+from repro.storage.durable import DurableRaftState
 from repro.storage.entry_cache import EntryCache
 from repro.storage.kvstore import KvOp, KvStore
 from repro.storage.wal import WriteAheadLog
 
-__all__ = ["EntryCache", "KvOp", "KvStore", "WriteAheadLog"]
+__all__ = ["DurableRaftState", "EntryCache", "KvOp", "KvStore", "WriteAheadLog"]

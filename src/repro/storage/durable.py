@@ -1,0 +1,130 @@
+"""Simulated stable storage for a consensus node (survives restarts).
+
+The simulation's :class:`~repro.storage.wal.WriteAheadLog` accounts disk
+*timing* (bytes, fsyncs); this module accounts disk *contents*: which Raft
+metadata, log entries and snapshot would actually be readable after a
+crash. One :class:`DurableRaftState` outlives its node's process — it is
+held by whoever deploys the group and handed back to the replacement
+:class:`~repro.raft.node.RaftNode` on restart, which recovers by snapshot
+load + WAL replay.
+
+Durability discipline mirrors the WAL's group commit: entries are *staged*
+when the node appends them to the WAL buffer and become *durable* only
+when the fsync covering them completes (``begin_sync`` captures the
+covered suffix; ``commit_sync`` marks it). An entry staged but not yet
+synced at crash time is lost — exactly the window real Raft tolerates,
+because such entries were never acknowledged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class DurableRaftState:
+    """What one Raft node would find on its disk after a reboot."""
+
+    def __init__(self, node_id: str):
+        self.node_id = node_id
+        # Raft metadata (persisted synchronously in real Raft; modelled as
+        # a free metadata write here — it is tens of bytes).
+        self.term = 0
+        self.voted_for: Optional[str] = None
+        # Snapshot: state-machine image + the log boundary it covers.
+        self.snapshot_index = 0
+        self.snapshot_term = 0
+        self.snapshot: Optional[dict] = None
+        # Log entries: index -> (entry, durable?). Entries are generic
+        # objects with .index/.term attributes to avoid an import cycle
+        # with repro.raft.types.
+        self._entries: Dict[int, Tuple[Any, bool]] = {}
+        self.recoveries = 0
+        self.lost_on_recovery = 0  # staged-but-unsynced entries dropped
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def save_term(self, term: int, voted_for: Optional[str]) -> None:
+        self.term = term
+        self.voted_for = voted_for
+
+    # ------------------------------------------------------------------
+    # Log entries
+    # ------------------------------------------------------------------
+    def stage_entries(self, entries) -> None:
+        """Record entries written to the WAL buffer (not yet fsynced).
+
+        Mirrors the follower's ``append_or_overwrite``: a conflicting term
+        at some index invalidates everything from that index on.
+        """
+        for entry in entries:
+            existing = self._entries.get(entry.index)
+            if existing is not None and existing[0].term != entry.term:
+                for index in [i for i in self._entries if i >= entry.index]:
+                    del self._entries[index]
+            self._entries[entry.index] = (entry, False)
+
+    def begin_sync(self) -> List[int]:
+        """Snapshot the staged-entry set an fsync is about to cover."""
+        return [index for index, (_e, durable) in self._entries.items() if not durable]
+
+    def commit_sync(self, covered: List[int]) -> None:
+        """The fsync completed: entries it covered are now durable."""
+        for index in covered:
+            entry = self._entries.get(index)
+            if entry is not None:
+                self._entries[index] = (entry[0], True)
+
+    # ------------------------------------------------------------------
+    # Snapshot + compaction
+    # ------------------------------------------------------------------
+    def save_snapshot(self, last_index: int, last_term: int, state: dict) -> None:
+        """Persist a state-machine snapshot and drop covered log entries."""
+        if last_index < self.snapshot_index:
+            return  # stale
+        self.snapshot_index = last_index
+        self.snapshot_term = last_term
+        self.snapshot = state
+        for index in [i for i in self._entries if i <= last_index]:
+            del self._entries[index]
+
+    def clear_log(self) -> None:
+        """Drop all log entries (an installed snapshot replaced them)."""
+        self._entries.clear()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recovered_entries(self) -> List[Any]:
+        """The contiguous durable log suffix above the snapshot, in order.
+
+        Replay stops at the first gap or non-durable entry — bytes past a
+        torn write are unreadable. Anything dropped is counted in
+        ``lost_on_recovery``.
+        """
+        entries = []
+        index = self.snapshot_index + 1
+        while index in self._entries:
+            entry, durable = self._entries[index]
+            if not durable:
+                break
+            entries.append(entry)
+            index += 1
+        self.lost_on_recovery += sum(
+            1 for i in self._entries if i >= index
+        )
+        for stale in [i for i in self._entries if i >= index]:
+            del self._entries[stale]
+        return entries
+
+    def has_state(self) -> bool:
+        return bool(self._entries) or self.snapshot is not None or self.term > 0
+
+    def durable_count(self) -> int:
+        return sum(1 for _e, durable in self._entries.values() if durable)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DurableRaftState {self.node_id} term={self.term} "
+            f"snap@{self.snapshot_index} entries={len(self._entries)}>"
+        )

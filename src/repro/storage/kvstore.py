@@ -3,26 +3,63 @@
 Commands are plain tuples so they hash/compare cheaply; the store applies
 them in commit order and remembers the apply count, which tests use to
 check that replicas converge.
+
+Client sessions ("Building on Quicksand": retries + idempotence over
+unreliable parts) ride on a wrapper command::
+
+    ("csess", session_id, request_id, inner_op)
+
+The store remembers, per session, the highest request id applied and its
+result. A retry of an already-applied request returns the cached result
+without re-applying — exactly-once semantics for at-least-once clients.
+Request ids must be issued in order per session (one outstanding request
+per session, the closed-loop client model). Session state is part of the
+snapshot, so dedup survives compaction, snapshot install and recovery.
 """
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Dict, Optional, Tuple
 
-# A command: ("put", key, value) | ("get", key) | ("delete", key).
+# A command: ("put", key, value) | ("get", key) | ("delete", key)
+#          | ("noop",) | ("csess", session_id, request_id, inner_op).
 KvOp = Tuple[str, ...]
 
 
 class KvStore:
-    """Deterministic in-memory KV state machine."""
+    """Deterministic in-memory KV state machine with client sessions."""
 
     def __init__(self):
         self._data: Dict[str, Any] = {}
         self.applied = 0
+        # session_id -> (last applied request id, its result).
+        self._sessions: Dict[str, Tuple[int, Any]] = {}
+        # Verifier state: every request id actually applied, per session.
+        # ``double_applies`` counts applies of an already-applied id — it
+        # stays 0 unless the dedup discipline is broken.
+        self._applied_rids: Dict[str, set] = {}
+        self.double_applies = 0
+        self.duplicates_deduped = 0
 
     def apply(self, op: KvOp) -> Optional[Any]:
         """Apply one committed command; returns the op's result."""
         kind = op[0]
+        if kind == "csess":
+            _, session_id, request_id, inner = op
+            cached = self._sessions.get(session_id)
+            if cached is not None and request_id <= cached[0]:
+                # A retry the log already holds: do not re-apply.
+                self.duplicates_deduped += 1
+                self.applied += 1
+                return cached[1]
+            result = self.apply(inner)
+            self._sessions[session_id] = (request_id, result)
+            applied_rids = self._applied_rids.setdefault(session_id, set())
+            if request_id in applied_rids:
+                self.double_applies += 1
+            applied_rids.add(request_id)
+            return result
         if kind == "put":
             _, key, value = op
             self._data[key] = value
@@ -51,20 +88,57 @@ class KvStore:
         """Order-insensitive digest of the state, for replica comparison."""
         return hash(frozenset((k, repr(v)) for k, v in self._data.items()))
 
+    def stable_digest(self) -> str:
+        """Run-to-run stable digest (``checksum`` depends on PYTHONHASHSEED)."""
+        digest = hashlib.sha256()
+        for key in sorted(self._data):
+            digest.update(repr((key, self._data[key])).encode())
+        for session in sorted(self._sessions):
+            digest.update(repr((session, self._sessions[session][0])).encode())
+        return digest.hexdigest()[:16]
+
+    # ------------------------------------------------------------------
+    # Session introspection (chaos verdicts)
+    # ------------------------------------------------------------------
+    def session_last_rid(self, session_id: str) -> int:
+        cached = self._sessions.get(session_id)
+        return cached[0] if cached is not None else 0
+
+    def session_ids(self):
+        return sorted(self._sessions)
+
+    def exactly_once_violations(self) -> int:
+        """Request ids applied more than once (0 unless dedup is broken)."""
+        return self.double_applies
+
     # ------------------------------------------------------------------
     # Snapshots (log compaction support)
     # ------------------------------------------------------------------
     def snapshot_state(self) -> dict:
         """A self-contained copy of the state for snapshot transfer."""
-        return {"data": dict(self._data), "applied": self.applied}
+        return {
+            "data": dict(self._data),
+            "applied": self.applied,
+            "sessions": dict(self._sessions),
+            "applied_rids": {sid: set(rids) for sid, rids in self._applied_rids.items()},
+        }
 
     def restore_state(self, state: dict) -> None:
         """Replace the whole state with a received snapshot."""
         self._data = dict(state["data"])
         self.applied = state["applied"]
+        self._sessions = dict(state.get("sessions", {}))
+        self._applied_rids = {
+            sid: set(rids) for sid, rids in state.get("applied_rids", {}).items()
+        }
 
     def estimated_bytes(self) -> int:
         """Serialized size estimate, used for snapshot transfer timing."""
-        return 128 + sum(
-            len(str(key)) + len(str(value)) + 16 for key, value in self._data.items()
+        return (
+            128
+            + sum(
+                len(str(key)) + len(str(value)) + 16
+                for key, value in self._data.items()
+            )
+            + 24 * len(self._sessions)
         )

@@ -17,6 +17,12 @@ turns those records into:
 
 from repro.trace.analysis import slowness_attribution, wait_time_by_kind
 from repro.trace.breakdown import busiest_waits, node_wait_breakdown, render_breakdown
+from repro.trace.linearize import (
+    HistoryRecorder,
+    LinearizeResult,
+    OpRecord,
+    check_linearizable,
+)
 from repro.trace.models import (
     expected_quorum_wait,
     impact_radius_table,
@@ -27,6 +33,9 @@ from repro.trace.tracepoints import Tracer, WaitRecord
 from repro.trace.verify import ToleranceReport, check_fail_slow_tolerance
 
 __all__ = [
+    "HistoryRecorder",
+    "LinearizeResult",
+    "OpRecord",
     "SpgEdge",
     "ToleranceReport",
     "Tracer",
@@ -34,6 +43,7 @@ __all__ = [
     "build_spg",
     "busiest_waits",
     "check_fail_slow_tolerance",
+    "check_linearizable",
     "expected_quorum_wait",
     "impact_radius_table",
     "node_wait_breakdown",

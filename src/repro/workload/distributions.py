@@ -65,5 +65,12 @@ class ZipfianKeys:
 
 
 def key_name(rank: int) -> str:
-    """Spread ranks over the keyspace (YCSB's key scrambling)."""
-    return f"user{hash(('ycsb', rank)) & 0xFFFFFFFFFFFF:012x}"
+    """Spread ranks over the keyspace (YCSB's key scrambling).
+
+    Uses a fixed multiplicative mix rather than ``hash()``: the built-in
+    is salted per process (PYTHONHASHSEED), which would make key names —
+    and therefore state digests — differ between runs of the same seed.
+    """
+    mixed = (rank + 1) * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF
+    mixed ^= mixed >> 29
+    return f"user{mixed & 0xFFFFFFFFFFFF:012x}"

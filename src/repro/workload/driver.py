@@ -10,6 +10,23 @@ this repo speaks to through the same ``client_request`` RPC contract:
 * reply: ``{"ok": True, "result": ...}`` on success,
   ``{"redirect": <node id or None>}`` if the callee is not the leader,
   ``{"error": <str>}`` on failure.
+
+Two opt-in robustness features (both off by default so the calibrated
+fail-slow experiments keep their seed behaviour) make clients safe under
+chaos:
+
+* **Client sessions** — with ``session_id`` set, every mutation is
+  wrapped as ``("csess", session_id, request_id, op)`` and retried under
+  the *same* request id, so the state machine's session table
+  deduplicates a retry whose first attempt actually committed
+  (exactly-once effects over an at-least-once wire).
+* **Backoff** — with ``backoff_ms`` set, timeouts back off
+  exponentially (capped) instead of hammering a partitioned or
+  recovering cluster.
+
+A :class:`~repro.trace.linearize.HistoryRecorder` can be attached to
+record each *logical* operation (one interval across all retries) for
+linearizability checking.
 """
 
 from __future__ import annotations
@@ -20,8 +37,11 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.node import Node
 from repro.sim.metrics import LatencyRecorder
 from repro.storage.kvstore import KvOp
+from repro.trace.linearize import HistoryRecorder
 from repro.workload.stats import WorkloadReport
 from repro.workload.ycsb import YcsbWorkload
+
+BACKOFF_CAP_MS = 500.0
 
 
 class KvServiceClient:
@@ -34,30 +54,58 @@ class KvServiceClient:
         node: Node,
         server_ids: List[str],
         request_timeout_ms: float = 2000.0,
+        session_id: Optional[str] = None,
+        backoff_ms: float = 0.0,
+        max_attempts: Optional[int] = None,
+        history: Optional[HistoryRecorder] = None,
     ):
         if not server_ids:
             raise ValueError("need at least one server")
         self.node = node
         self.server_ids = list(server_ids)
         self.request_timeout_ms = request_timeout_ms
+        self.session_id = session_id
+        self.backoff_ms = backoff_ms
+        self.max_attempts = max_attempts if max_attempts is not None else self.MAX_ATTEMPTS
+        self.history = history
         self._leader_hint = self.server_ids[0]
+        self._next_rid = 0
         self.redirects = 0
         self.timeouts = 0
 
     def execute(self, op: KvOp, size_bytes: int) -> Generator:
         """Generator: run one operation; returns (ok, result)."""
-        for _attempt in range(self.MAX_ATTEMPTS):
+        wire_op = op
+        if self.session_id is not None and op[0] in ("put", "delete"):
+            # One request id per *logical* op: every retry reuses it, so a
+            # retry of an already-committed attempt dedups at the RSM.
+            self._next_rid += 1
+            wire_op = ("csess", self.session_id, self._next_rid, op)
+        op_id = None
+        if self.history is not None:
+            op_id = self.history.invoke(
+                self.session_id or self.node.node_id, op, self.node.runtime.now
+            )
+        backoff = self.backoff_ms
+        for _attempt in range(self.max_attempts):
             target = self._leader_hint
             event = self.node.endpoint.call(
-                target, "client_request", {"op": op}, size_bytes=size_bytes
+                target, "client_request", {"op": wire_op}, size_bytes=size_bytes
             )
             result = yield event.wait(timeout_ms=self.request_timeout_ms)
             if result.timed_out or not event.ok:
                 self.timeouts += 1
                 self._rotate_leader_hint()
+                if backoff > 0:
+                    yield self.node.runtime.sleep(backoff)
+                    backoff = min(backoff * 2, BACKOFF_CAP_MS)
                 continue
             reply = event.reply
             if reply.get("ok"):
+                if self.history is not None:
+                    self.history.complete(
+                        op_id, reply.get("result"), self.node.runtime.now
+                    )
                 return True, reply.get("result")
             redirect = reply.get("redirect")
             if redirect:
@@ -67,7 +115,11 @@ class KvServiceClient:
             # Explicit error or leader-unknown: back off briefly and retry.
             self.redirects += 1
             self._rotate_leader_hint()
-            yield self.node.runtime.sleep(10.0)
+            yield self.node.runtime.sleep(max(10.0, backoff))
+            if backoff > 0:
+                backoff = min(backoff * 2, BACKOFF_CAP_MS)
+        if self.history is not None:
+            self.history.abandon(op_id)
         return False, None
 
     def _rotate_leader_hint(self) -> None:
@@ -88,6 +140,10 @@ class ClosedLoopDriver:
         think_time_ms: float = 0.0,
         request_timeout_ms: float = 2000.0,
         client_ids: Optional[List[str]] = None,
+        sessions: bool = False,
+        backoff_ms: float = 0.0,
+        max_attempts: Optional[int] = None,
+        history: Optional[HistoryRecorder] = None,
     ):
         if n_clients < 1 or n_client_nodes < 1:
             raise ValueError("need at least one client and one client node")
@@ -99,9 +155,15 @@ class ClosedLoopDriver:
         self.n_clients = n_clients
         self.think_time_ms = think_time_ms
         self.request_timeout_ms = request_timeout_ms
+        self.sessions = sessions
+        self.backoff_ms = backoff_ms
+        self.max_attempts = max_attempts
+        self.history = history
         self.recorder = LatencyRecorder("client-latency")
         self.errors = 0
         self.completed = 0
+        self._stopped = False
+        self.clients: List[KvServiceClient] = []
         self.client_nodes: List[Node] = []
         for i in range(n_client_nodes):
             client_id = client_ids[i] if client_ids is not None else self._free_client_id()
@@ -122,8 +184,15 @@ class ClosedLoopDriver:
         for i in range(self.n_clients):
             node = self.client_nodes[i % len(self.client_nodes)]
             client = KvServiceClient(
-                node, self.server_ids, request_timeout_ms=self.request_timeout_ms
+                node,
+                self.server_ids,
+                request_timeout_ms=self.request_timeout_ms,
+                session_id=f"{node.node_id}#{i}" if self.sessions else None,
+                backoff_ms=self.backoff_ms,
+                max_attempts=self.max_attempts,
+                history=self.history,
             )
+            self.clients.append(client)
             # Staggered starts break the lockstep a simultaneous launch of
             # identical closed-loop clients would otherwise settle into.
             delay = stagger_rng.uniform(0.0, 20.0)
@@ -131,11 +200,19 @@ class ClosedLoopDriver:
                 self._client_loop(client, delay), name=f"client-{i}"
             )
 
+    def stop(self) -> None:
+        """Ask clients to exit after their in-flight operation finishes.
+
+        Used by the chaos harness to quiesce traffic before convergence
+        checks; the steady-state experiments never stop.
+        """
+        self._stopped = True
+
     def _client_loop(self, client: KvServiceClient, initial_delay_ms: float) -> Generator:
         runtime = client.node.runtime
         if initial_delay_ms > 0:
             yield runtime.sleep(initial_delay_ms)
-        while True:
+        while not self._stopped:
             op, size_bytes = self.workload.next_op()
             started = runtime.now
             ok, _result = yield from client.execute(op, size_bytes)

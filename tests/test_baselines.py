@@ -122,6 +122,7 @@ class TestTidbLikePathology:
         # The cache is what forces the disk path.
         assert leader.log.cache.misses > 0
 
+    @pytest.mark.slow
     def test_blocking_reads_depress_throughput(self):
         healthy_cluster, _ = deploy(TidbLikeRsm)
         healthy = drive(healthy_cluster, until=6000.0).report(2000.0, 6000.0)
@@ -147,6 +148,7 @@ class TestRethinkLikePathology:
         assert leader_node.crashed
         assert "OOM" in leader_node.crash_reason
 
+    @pytest.mark.slow
     def test_healthy_run_does_not_crash(self):
         cluster, nodes = deploy(RethinkLikeRsm)
         drive(cluster, n_clients=48, until=10_000.0)

@@ -82,6 +82,7 @@ class TestChainFailSlowPropagation:
         cluster.run(until_ms=6000.0)
         return driver.report(2000.0, 6000.0)
 
+    @pytest.mark.slow
     def test_one_slow_middle_node_throttles_the_chain(self):
         healthy = self._throughput(None)
         slowed = self._throughput("cpu_slow")

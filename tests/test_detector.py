@@ -36,6 +36,7 @@ class TestDetection:
         assert all(detector.suspected is None for detector in detectors)
         assert find_leader(raft).id == "s1"
 
+    @pytest.mark.slow
     def test_fail_slow_leader_gets_suspected_and_demoted(self):
         cluster, raft, detectors, driver = deploy_with_detectors()
         cluster.run(until_ms=3000.0)  # healthy baseline for the detectors
@@ -47,6 +48,7 @@ class TestDetection:
         assert new_leader is not None
         assert new_leader.id != "s1"
 
+    @pytest.mark.slow
     def test_throughput_recovers_after_mitigation(self):
         cluster, raft, detectors, driver = deploy_with_detectors()
         cluster.run(until_ms=3000.0)

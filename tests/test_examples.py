@@ -60,18 +60,21 @@ def test_sharded_transactions(capsys):
     assert "ABORT (voted-no)" in out
 
 
+@pytest.mark.slow
 def test_leader_mitigation(capsys):
     out = run_example("leader_mitigation", capsys)
     assert "suspected s1" in out
     assert "final leader" in out
 
 
+@pytest.mark.slow
 def test_fault_tolerance_demo(capsys):
     out = run_example("fault_tolerance_demo", capsys)
     assert "mongo-like" in out and "depfast" in out
     assert "throughput drop" in out
 
 
+@pytest.mark.slow
 def test_chain_vs_quorum(capsys):
     out = run_example("chain_vs_quorum", capsys)
     assert "chain" in out and "depfast" in out

@@ -5,6 +5,7 @@ Hypothesis drives sequences of transient Table 1 faults across followers
 must still satisfy Raft's safety invariants and be able to converge.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -26,6 +27,7 @@ fault_event = st.tuples(
 )
 
 
+@pytest.mark.slow
 @given(
     seed=st.integers(min_value=0, max_value=10_000),
     storm=st.lists(fault_event, min_size=1, max_size=4),
@@ -37,14 +39,11 @@ def test_safety_through_transient_fault_storm(seed, storm):
     wait_for_leader(cluster, raft)
     injector = FaultInjector(cluster)
 
-    # Serialize overlapping faults per victim (one active fault per node,
-    # like the paper): shift each event to start after the previous one
-    # on the same node has cleared.
-    next_free = {"s2": 0.0, "s3": 0.0}
+    # Overlapping schedules on one victim are fine: the injector queues a
+    # scheduled fault that fires while another is active and applies it,
+    # with its full duration, when the active one clears.
     for victim, fault, start, duration in storm:
-        start = max(start, next_free[victim] + 1.0)
         injector.inject_transient(victim, fault, at_ms=start, duration_ms=duration)
-        next_free[victim] = start + duration
 
     workload = YcsbWorkload(cluster.rng.stream("y"), record_count=200, value_size=200)
     driver = ClosedLoopDriver(cluster, GROUP, workload, n_clients=8)

@@ -73,6 +73,7 @@ class TestLeaderLocalFaults:
 
 
 class TestTransientFaults:
+    @pytest.mark.slow
     def test_transient_fault_recovers_fully(self):
         cluster, raft, driver = deploy(GROUP3)
         injector = FaultInjector(cluster)
@@ -83,6 +84,9 @@ class TestTransientFaults:
         # Tolerated while present, gone afterwards; logs reconverge.
         assert during.errors == 0
         assert after.errors == 0
+        # Quiesce the workload before comparing logs: under live load the
+        # follower legitimately trails the leader by in-flight entries.
+        driver.stop()
         cluster.run(until_ms=cluster.kernel.now + 15_000.0)
         assert raft["s3"].log.last_index() == raft["s1"].log.last_index()
 

@@ -1,0 +1,208 @@
+"""Wing–Gong linearizability checker: unit tests + properties."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.linearize import (
+    HistoryRecorder,
+    OpRecord,
+    check_linearizable,
+)
+
+
+def op(op_id, kind, key, invoked, returned, value=None, result=None, client="c"):
+    return OpRecord(
+        op_id=op_id,
+        client=client,
+        kind=kind,
+        key=key,
+        value=value,
+        invoked_at=invoked,
+        returned_at=returned,
+        result=result,
+    )
+
+
+class TestSequentialHistories:
+    def test_put_then_get_is_linearizable(self):
+        history = [
+            op(0, "put", "k", 0, 1, value="a"),
+            op(1, "get", "k", 2, 3, result="a"),
+        ]
+        assert check_linearizable(history).ok
+
+    def test_stale_read_is_rejected(self):
+        history = [
+            op(0, "put", "k", 0, 1, value="a"),
+            op(1, "put", "k", 2, 3, value="b"),
+            op(2, "get", "k", 4, 5, result="a"),  # must see "b"
+        ]
+        verdict = check_linearizable(history)
+        assert not verdict.ok
+        assert verdict.failed_key == "k"
+
+    def test_get_before_any_put_sees_absent(self):
+        history = [op(0, "get", "k", 0, 1, result=None)]
+        assert check_linearizable(history).ok
+
+    def test_delete_result_is_checked(self):
+        good = [
+            op(0, "put", "k", 0, 1, value="a"),
+            op(1, "delete", "k", 2, 3, result="a"),
+            op(2, "get", "k", 4, 5, result=None),
+        ]
+        assert check_linearizable(good).ok
+        bad = [
+            op(0, "put", "k", 0, 1, value="a"),
+            op(1, "delete", "k", 2, 3, result="stale"),
+        ]
+        assert not check_linearizable(bad).ok
+
+
+class TestConcurrency:
+    def test_concurrent_ops_may_reorder(self):
+        # get overlaps both puts: any serialization that explains "a" works.
+        history = [
+            op(0, "put", "k", 0, 10, value="a"),
+            op(1, "put", "k", 0, 10, value="b"),
+            op(2, "get", "k", 0, 10, result="a"),
+        ]
+        assert check_linearizable(history).ok
+
+    def test_nonoverlapping_order_is_enforced(self):
+        # put(b) strictly after put(a); later read of "a" is only legal if
+        # the read overlaps put(b) — here it does not.
+        history = [
+            op(0, "put", "k", 0, 1, value="a"),
+            op(1, "put", "k", 2, 3, value="b"),
+            op(2, "get", "k", 10, 11, result="a"),
+        ]
+        assert not check_linearizable(history).ok
+
+    def test_keys_are_checked_independently(self):
+        history = [
+            op(0, "put", "x", 0, 1, value="a"),
+            op(1, "put", "y", 0, 1, value="b"),
+            op(2, "get", "x", 2, 3, result="a"),
+            op(3, "get", "y", 2, 3, result="b"),
+        ]
+        verdict = check_linearizable(history)
+        assert verdict.ok
+        assert verdict.keys_checked == 2
+
+
+class TestIndeterminateOps:
+    def test_timed_out_write_may_have_applied(self):
+        history = [
+            op(0, "put", "k", 0, math.inf, value="a"),  # never returned
+            op(1, "get", "k", 5, 6, result="a"),
+        ]
+        assert check_linearizable(history).ok
+
+    def test_timed_out_write_may_not_have_applied(self):
+        history = [
+            op(0, "put", "k", 0, math.inf, value="a"),
+            op(1, "get", "k", 5, 6, result=None),
+        ]
+        assert check_linearizable(history).ok
+
+    def test_determinate_ops_must_still_linearize(self):
+        history = [
+            op(0, "put", "k", 0, math.inf, value="a"),
+            op(1, "put", "k", 1, 2, value="b"),
+            op(2, "get", "k", 3, 4, result="c"),  # nobody wrote "c"
+        ]
+        assert not check_linearizable(history).ok
+
+
+class TestPruning:
+    def test_many_unobserved_abandoned_writes_stay_tractable(self):
+        """Abandoned writes are concurrent with the whole rest of the
+        history; unless their value was observed they must be pruned, or
+        the search doubles per abandoned op. 30 of them over a 300-op
+        sequential history must check in a tiny state budget."""
+        history = []
+        now = 0.0
+        op_id = 0
+        for i in range(150):
+            history.append(op(op_id, "put", "k", now, now + 1, value=f"v{i}"))
+            op_id += 1
+            history.append(op(op_id, "get", "k", now + 2, now + 3, result=f"v{i}"))
+            op_id += 1
+            now += 4.0
+            if i % 5 == 0:  # an abandoned write nobody ever observed
+                history.append(
+                    op(op_id, "put", "k", now, math.inf, value=f"lost{i}")
+                )
+                op_id += 1
+        verdict = check_linearizable(history, max_states_per_key=20_000)
+        assert verdict.ok
+
+    def test_pruning_keeps_observed_abandoned_writes(self):
+        # The abandoned put's value IS read later: it must stay in the
+        # search (and make the history linearizable)...
+        history = [
+            op(0, "put", "k", 0, math.inf, value="a"),
+            op(1, "get", "k", 5, 6, result="a"),
+        ]
+        assert check_linearizable(history).ok
+        # ...but only reads that returned after its invocation count.
+        history = [
+            op(0, "get", "k", 0, 1, result="a"),
+            op(1, "put", "k", 5, math.inf, value="a"),
+        ]
+        assert not check_linearizable(history).ok
+
+
+class TestRecorder:
+    def test_recorder_spans_retries_as_one_operation(self):
+        recorder = HistoryRecorder()
+        op_id = recorder.invoke("c1", ("put", "k", "v"), now=1.0)
+        recorder.complete(op_id, None, now=9.0)  # after several retries
+        [record] = recorder.operations
+        assert record.invoked_at == 1.0
+        assert record.returned_at == 9.0
+        assert record.determinate
+
+    def test_abandoned_op_stays_indeterminate(self):
+        recorder = HistoryRecorder()
+        op_id = recorder.invoke("c1", ("put", "k", "v"), now=1.0)
+        recorder.abandon(op_id)
+        [record] = recorder.operations
+        assert not record.determinate
+        assert recorder.abandoned == 1
+
+
+@given(
+    script=st.lists(
+        st.tuples(
+            st.sampled_from(["put", "get", "delete"]),
+            st.sampled_from(["x", "y"]),
+            st.integers(min_value=0, max_value=9),
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_any_sequential_execution_is_linearizable(script):
+    """Operations actually executed one at a time against a real register
+    always produce a linearizable history (soundness of the checker)."""
+    state = {}
+    history = []
+    now = 0.0
+    for i, (kind, key, value) in enumerate(script):
+        invoked, returned = now, now + 1.0
+        now += 2.0
+        if kind == "put":
+            state[key] = f"v{value}"
+            history.append(op(i, "put", key, invoked, returned, value=f"v{value}"))
+        elif kind == "get":
+            history.append(op(i, "get", key, invoked, returned, result=state.get(key)))
+        else:
+            history.append(
+                op(i, "delete", key, invoked, returned, result=state.pop(key, None))
+            )
+    assert check_linearizable(history).ok

@@ -205,3 +205,114 @@ class TestInbox:
         inbox.get_event()
         inbox.cancel_get()
         inbox.get_event()  # no error
+
+
+class TestPartitions:
+    def test_blocked_pair_drops_at_delivery(self):
+        kernel, net, boxes, _ = make_net()
+        net.block("a", "b")
+        net.send(Message("a", "b", "x", size_bytes=100))
+        kernel.run_until_idle()
+        assert len(boxes["b"]) == 0
+        # Symmetric by default.
+        net.send(Message("b", "a", "y", size_bytes=100))
+        kernel.run_until_idle()
+        assert len(boxes["a"]) == 0
+
+    def test_asymmetric_block(self):
+        kernel, net, boxes, _ = make_net()
+        net.block("a", "b", symmetric=False)
+        net.send(Message("b", "a", "y", size_bytes=100))
+        kernel.run_until_idle()
+        assert len(boxes["a"]) == 1
+
+    def test_inflight_messages_lost_when_partition_lands(self):
+        kernel, net, boxes, _ = make_net(
+            link=Link(latency_ms=10.0, bandwidth_mbps=1000.0)
+        )
+        net.send(Message("a", "b", "x", size_bytes=100))
+        kernel.run(5.0)  # message is on the wire
+        net.block("a", "b")
+        kernel.run_until_idle()
+        assert len(boxes["b"]) == 0
+
+    def test_heal_restores_delivery_and_window(self):
+        kernel, net, boxes, _ = make_net()
+        net.block("a", "b")
+        for _ in range(5):
+            net.send(Message("a", "b", "x", size_bytes=100))
+        kernel.run_until_idle()
+        net.heal()
+        net.send(Message("a", "b", "y", size_bytes=100))
+        kernel.run_until_idle()
+        msgs = consume_all(boxes["b"])
+        assert [m.method for m in msgs] == ["y"]
+
+    def test_partition_and_isolate_helpers(self):
+        kernel, net, _, _ = make_net()
+        net.partition(["a"], ["b"])
+        assert net.is_blocked("a", "b") and net.is_blocked("b", "a")
+        net.heal()
+        net.isolate("a")
+        assert net.is_blocked("b", "a")
+
+
+class TestMessageLoss:
+    def test_loss_rate_needs_rng(self):
+        kernel, net, _, _ = make_net()
+        net.set_loss_rate("a", "b", 0.5)
+        with pytest.raises(RuntimeError):
+            net.send(Message("a", "b", "x", size_bytes=100))
+            kernel.run_until_idle()
+
+    def test_seeded_loss_is_deterministic_and_partial(self):
+        import random
+
+        counts = []
+        for _ in range(2):
+            kernel, net, boxes, _ = make_net()
+            net.use_loss_rng(random.Random(42))
+            net.set_loss_rate("a", "b", 0.5)
+            for i in range(40):
+                net.send(Message("a", "b", f"m{i}", size_bytes=100))
+            kernel.run_until_idle()
+            counts.append(len(consume_all(boxes["b"])))
+        assert counts[0] == counts[1]
+        assert 0 < counts[0] < 40
+
+    def test_clearing_loss_restores_delivery(self):
+        import random
+
+        kernel, net, boxes, _ = make_net()
+        net.use_loss_rng(random.Random(1))
+        net.set_loss_rate("a", "b", 1.0)
+        net.send(Message("a", "b", "x", size_bytes=100))
+        kernel.run_until_idle()
+        assert len(boxes["b"]) == 0
+        net.set_loss_rate("a", "b", 0.0)
+        net.send(Message("a", "b", "y", size_bytes=100))
+        kernel.run_until_idle()
+        assert len(consume_all(boxes["b"])) == 1
+
+
+class TestRestart:
+    def test_restart_requires_crash(self):
+        kernel, net, boxes, _ = make_net()
+        with pytest.raises(ValueError):
+            net.restart("a", Inbox("a"))
+
+    def test_restart_swaps_inbox_and_resets_connections(self):
+        kernel, net, boxes, _ = make_net(
+            link=Link(latency_ms=10.0, bandwidth_mbps=1000.0)
+        )
+        net.send(Message("b", "a", "pre-crash", size_bytes=100))
+        kernel.run(5.0)  # in flight toward a
+        net.crash("a")
+        fresh = Inbox("a")
+        net.restart("a", fresh)
+        # The segment sent before the reset is dropped (TCP reset
+        # semantics); traffic sent after the restart is delivered.
+        net.send(Message("b", "a", "post-restart", size_bytes=100))
+        kernel.run_until_idle()
+        assert [m.method for m in consume_all(fresh)] == ["post-restart"]
+        assert len(boxes["a"]) == 0

@@ -56,6 +56,7 @@ class TestBreakdownUnits:
         assert "(no recorded waits)" in render_breakdown(self.RECORDS, "ghost")
 
 
+@pytest.mark.slow
 class TestPeerSlownessDetection:
     def _traced_cluster(self, fault=None, victim="s3"):
         cluster = Cluster(seed=47)

@@ -112,6 +112,7 @@ class TestFailSlowTolerance:
         results = run_ops(cluster, group, [("put", f"k{i}", "v") for i in range(20)])
         assert all(ok for ok, _ in results)
 
+    @pytest.mark.slow
     def test_throughput_band_under_network_slow_acceptor(self):
         cluster, nodes, group = deploy(seed=67)
         workload = YcsbWorkload(cluster.rng.stream("y"), record_count=1000, value_size=1000)

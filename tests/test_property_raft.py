@@ -1,5 +1,6 @@
 """Property-based tests for the Raft log and end-to-end safety invariants."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -99,6 +100,7 @@ def test_slice_cached_counts_misses_below_cache_floor(cache_size, n_entries):
     victim=st.sampled_from(["s2", "s3"]),
 )
 @settings(max_examples=6, deadline=None)
+@pytest.mark.slow
 def test_safety_under_random_fail_slow_follower(seed, fault, victim):
     """Whatever fault hits a follower: single leader, consistent prefixes."""
     cluster = Cluster(seed=seed)

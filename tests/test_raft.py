@@ -141,6 +141,7 @@ class TestFailSlowTolerance:
         )
         assert all(ok for ok, _ in results)
 
+    @pytest.mark.slow
     def test_throughput_within_band_under_network_slow_follower(self):
         cluster, raft, group = deploy(seed=11)
         wait_for_leader(cluster, raft)
@@ -182,6 +183,7 @@ class TestFailSlowTolerance:
         report = check_fail_slow_tolerance(cluster.tracer.records, [group])
         assert report.tolerant, report.summary()
 
+    @pytest.mark.slow
     def test_bounded_buffers_keep_leader_memory_flat(self):
         cluster, raft, group = deploy(seed=17)
         leader = wait_for_leader(cluster, raft)
@@ -197,6 +199,7 @@ class TestFailSlowTolerance:
 
 
 class TestWorkloadDriver:
+    @pytest.mark.slow
     def test_driver_reports_throughput_and_latency(self):
         cluster, raft, group = deploy()
         wait_for_leader(cluster, raft)

@@ -183,6 +183,7 @@ class TestSnapshotInstall:
         assert leader.snapshots_taken >= 1
         assert leader.log.live_entries() <= 500 + 64  # base window + one batch
 
+    @pytest.mark.slow
     def test_far_behind_follower_repaired_via_snapshot(self):
         cluster, raft = deploy(
             snapshot_threshold_entries=400, compaction_keep_entries=100

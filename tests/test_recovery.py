@@ -1,0 +1,242 @@
+"""Crash–recovery: durable state, WAL replay, session dedup, injector fixes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.faults.catalog import TABLE1
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import (
+    deploy_depfast_raft,
+    find_leader,
+    restart_raft_node,
+    wait_for_leader,
+)
+from repro.storage.durable import DurableRaftState
+from repro.storage.kvstore import KvStore
+from repro.workload.driver import KvServiceClient
+
+
+class _Entry:
+    def __init__(self, index, term, op=("noop",)):
+        self.index = index
+        self.term = term
+        self.op = op
+
+
+class TestDurableRaftState:
+    def test_staged_entries_become_durable_only_after_sync(self):
+        durable = DurableRaftState("s1")
+        durable.stage_entries([_Entry(1, 1), _Entry(2, 1)])
+        assert durable.durable_count() == 0
+        covered = durable.begin_sync()
+        durable.stage_entries([_Entry(3, 1)])  # staged after the fsync cut
+        durable.commit_sync(covered)
+        assert durable.durable_count() == 2
+        assert [e.index for e in durable.recovered_entries()] == [1, 2]
+
+    def test_unsynced_suffix_is_lost_on_recovery(self):
+        durable = DurableRaftState("s1")
+        durable.stage_entries([_Entry(1, 1), _Entry(2, 1), _Entry(3, 1)])
+        durable.commit_sync([1])  # only entry 1 made it to disk
+        recovered = durable.recovered_entries()
+        assert [e.index for e in recovered] == [1]
+        assert durable.lost_on_recovery == 2
+
+    def test_conflicting_term_invalidates_suffix(self):
+        durable = DurableRaftState("s1")
+        durable.stage_entries([_Entry(1, 1), _Entry(2, 1), _Entry(3, 1)])
+        durable.commit_sync(durable.begin_sync())
+        # A new leader overwrites index 2 with a higher-term entry.
+        durable.stage_entries([_Entry(2, 2)])
+        durable.commit_sync(durable.begin_sync())
+        assert [(e.index, e.term) for e in durable.recovered_entries()] == [
+            (1, 1),
+            (2, 2),
+        ]
+
+    def test_snapshot_drops_covered_entries(self):
+        durable = DurableRaftState("s1")
+        durable.stage_entries([_Entry(i, 1) for i in range(1, 6)])
+        durable.commit_sync(durable.begin_sync())
+        durable.save_snapshot(3, 1, {"data": {}, "applied": 3})
+        assert [e.index for e in durable.recovered_entries()] == [4, 5]
+        durable.save_snapshot(2, 1, {"data": {}, "applied": 2})  # stale: ignored
+        assert durable.snapshot_index == 3
+
+
+class TestSessionDedup:
+    def test_duplicate_retry_returns_cached_result_without_reapplying(self):
+        kv = KvStore()
+        first = kv.apply(("csess", "c1", 1, ("put", "k", "v1")))
+        again = kv.apply(("csess", "c1", 1, ("put", "k", "v1")))
+        assert first == again
+        assert kv.duplicates_deduped == 1
+        assert kv.exactly_once_violations() == 0
+        assert kv.get("k") == "v1"
+
+    def test_sessions_survive_snapshot_roundtrip(self):
+        kv = KvStore()
+        kv.apply(("csess", "c1", 1, ("put", "k", "v1")))
+        clone = KvStore()
+        clone.restore_state(kv.snapshot_state())
+        clone.apply(("csess", "c1", 1, ("put", "k", "v1")))
+        assert clone.duplicates_deduped == 1
+        assert clone.exactly_once_violations() == 0
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),  # request id
+                st.sampled_from(["a", "b"]),  # key
+                st.integers(min_value=1, max_value=3),  # duplicate count
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_duplicated_retries_apply_exactly_once(self, ops):
+        """However a committed log duplicates a session's requests, each
+        request id mutates the state machine at most once."""
+        kv = KvStore()
+        reference = {}
+        highest = 0
+        for rid, key, copies in sorted(ops):
+            if rid <= highest:
+                continue  # session rids are issued in order
+            highest = rid
+            value = f"v{rid}"
+            for _ in range(copies):
+                kv.apply(("csess", "sess", rid, ("put", key, value)))
+            reference[key] = value
+        assert kv.exactly_once_violations() == 0
+        for key, value in reference.items():
+            assert kv.get(key) == value
+
+
+class TestInjectorFixes:
+    def test_scheduled_overlap_queues_instead_of_raising(self):
+        cluster = Cluster(seed=1)
+        cluster.add_node("s1")
+        injector = FaultInjector(cluster)
+        injector.inject_transient("s1", "cpu_slow", at_ms=100.0, duration_ms=500.0)
+        injector.inject_transient("s1", "disk_slow", at_ms=300.0, duration_ms=400.0)
+        cluster.run(350.0)  # second fault fired while the first is active
+        assert injector.fault_on("s1").fault_type.value == "cpu_slow"
+        assert injector.queued_count("s1") == 1
+        cluster.run(700.0)  # first cleared at 600 -> queued fault applied
+        assert injector.fault_on("s1").fault_type.value == "disk_slow"
+        cluster.run(1200.0)  # queued fault keeps its full duration (600..1000)
+        assert injector.fault_on("s1") is None
+        actions = [action for _, _, _, action in injector.history]
+        assert "queued" in actions
+
+    def test_clear_restores_saved_memory_limit_not_default(self):
+        cluster = Cluster(seed=1)
+        node = cluster.add_node("s1")
+        tightened = int(node.spec.memory_bytes * 0.8)
+        node.memory.set_limit(tightened)  # operator-configured, non-default
+        injector = FaultInjector(cluster)
+        injector.inject("s1", TABLE1["memory_contention"])
+        assert node.memory.limit_bytes < tightened
+        injector.clear("s1")
+        assert node.memory.limit_bytes == tightened
+
+    def test_clear_restores_cpu_quota_under_background_jitter_value(self):
+        cluster = Cluster(seed=1)
+        node = cluster.add_node("s1")
+        node.cpu.set_quota(0.9)  # ambient, non-default value
+        injector = FaultInjector(cluster)
+        injector.inject("s1", TABLE1["cpu_slow"])
+        injector.clear("s1")
+        assert node.cpu.quota == pytest.approx(0.9)
+
+
+def _deploy(n=3, seed=7, **kwargs):
+    cluster = Cluster(seed=seed)
+    group = [f"s{i + 1}" for i in range(n)]
+    config = RaftConfig(preferred_leader="s1", **kwargs)
+    raft = deploy_depfast_raft(cluster, group, config=config)
+    return cluster, raft, group
+
+
+class TestCrashRecovery:
+    def test_crash_during_inflight_commits_acked_writes_survive(self):
+        """Kill the leader mid-stream; every acknowledged write must still
+        be in every replica's state machine after reboot + convergence."""
+        cluster, raft, group = _deploy(seed=11)
+        wait_for_leader(cluster, raft)
+        client_node = cluster.add_client("c1")
+        client_node.start()
+        client = KvServiceClient(client_node, group, session_id="c1#0")
+        acked = {}
+
+        def script():
+            for i in range(40):
+                op = ("put", f"k{i}", f"v{i}")
+                ok, _ = yield from client.execute(op, size_bytes=64)
+                if ok:
+                    acked[f"k{i}"] = f"v{i}"
+
+        client_node.runtime.spawn(script())
+        # Crash the leader while writes are in flight, reboot 2s later.
+        cluster.kernel.schedule_at(
+            2_500.0, lambda: cluster.node("s1").crash("test-kill")
+        )
+        cluster.run(4_500.0)
+        assert cluster.node("s1").crashed
+        recovered = restart_raft_node(cluster, raft, "s1")
+        assert recovered.recovered
+        assert recovered.durable.recoveries == 1
+        cluster.run(40_000.0)
+
+        assert acked, "client made no progress"
+        assert find_leader(raft) is not None
+        for raft_node in raft.values():
+            assert not raft_node.node.crashed
+            for key, value in acked.items():
+                assert raft_node.kv.get(key) == value, (
+                    f"{raft_node.id} lost acked write {key}"
+                )
+            assert raft_node.kv.exactly_once_violations() == 0
+
+    def test_restarted_follower_catches_up_via_replay_and_repair(self):
+        cluster, raft, group = _deploy(seed=5)
+        wait_for_leader(cluster, raft)
+        from tests.test_raft import run_client_ops
+
+        run_client_ops(cluster, group, [("put", f"a{i}", i) for i in range(10)])
+        cluster.node("s3").crash("test")
+        run_client_ops(cluster, group, [("put", f"b{i}", i) for i in range(10)])
+        restarted = restart_raft_node(cluster, raft, "s3")
+        assert restarted.recovered
+        # The replayed log already holds the pre-crash entries...
+        assert restarted.log.last_index() >= 10
+        cluster.run(cluster.kernel.now + 15_000.0)
+        # ...and repair delivers the rest; states converge exactly.
+        digests = {r.kv.stable_digest() for r in raft.values()}
+        assert len(digests) == 1
+
+    def test_partition_heal_convergence(self):
+        """Majority keeps committing while the old leader is partitioned
+        away; after the heal the minority rejoins the same history."""
+        cluster, raft, group = _deploy(seed=9)
+        wait_for_leader(cluster, raft)
+        from tests.test_raft import run_client_ops
+
+        run_client_ops(cluster, group, [("put", "x", 1)])
+        cluster.network.isolate("s1")
+        results = run_client_ops(cluster, group, [("put", "y", 2), ("put", "z", 3)])
+        assert all(ok for ok, _ in results)
+        new_leader = find_leader(raft)
+        assert new_leader is not None and new_leader.id != "s1"
+        cluster.network.heal()
+        cluster.run(cluster.kernel.now + 15_000.0)
+        leaders = [r for r in raft.values() if r.role.value == "leader"]
+        assert len(leaders) == 1
+        digests = {r.kv.stable_digest() for r in raft.values()}
+        assert len(digests) == 1
+        assert raft["s1"].kv.get("z") == 3

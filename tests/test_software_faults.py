@@ -48,6 +48,7 @@ class TestEndToEnd:
         cluster.run(until_ms=6000.0)
         return driver.report(2000.0, 6000.0), raft
 
+    @pytest.mark.slow
     def test_depfast_tolerates_misconfigured_follower(self):
         healthy, _ = self._run(None)
         slowed, raft = self._run("debug_logging")
