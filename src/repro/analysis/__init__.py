@@ -1,0 +1,38 @@
+"""depfast-lint: static fail-slow tolerance analysis for coroutine code.
+
+Turns the paper's §3.1 property — "code that only uses QuorumEvent and has
+no other waiting points" — into a compile-time check over the AST, plus a
+static SPG approximation that a differ cross-checks against the runtime
+SPG built from trace records.
+"""
+
+from repro.analysis.lint import LintResult, main, render_json, render_text, run_lint
+from repro.analysis.model import ERROR, RULES, WARNING, EventShape, Finding, WaitSite
+from repro.analysis.rules import run_rules
+from repro.analysis.scanner import ModuleScan, ScanError, scan_module, scan_paths
+from repro.analysis.spgdiff import SpgDiff, diff_spg
+from repro.analysis.static_spg import StaticEdge, StaticSpg, build_static_spg
+
+__all__ = [
+    "ERROR",
+    "WARNING",
+    "RULES",
+    "EventShape",
+    "Finding",
+    "WaitSite",
+    "LintResult",
+    "ModuleScan",
+    "ScanError",
+    "SpgDiff",
+    "StaticEdge",
+    "StaticSpg",
+    "build_static_spg",
+    "diff_spg",
+    "main",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "run_rules",
+    "scan_module",
+    "scan_paths",
+]

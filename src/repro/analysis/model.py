@@ -1,0 +1,236 @@
+"""Data model for the static fail-slow tolerance analysis (depfast-lint).
+
+The analyzer mirrors the *runtime* verification vocabulary of
+:mod:`repro.trace`: a coroutine blocks at **wait sites**, each wait is on
+an **event shape** (basic vs quorum vs And/Or composition, local vs
+remote source, bounded vs unbounded), and the paper's §3.1 property —
+"code that only uses QuorumEvent and has no other waiting points" — is a
+predicate over those shapes. Here the shapes come from the AST instead of
+from a trace, which is what makes the check shift-left: anti-patterns are
+findings at authoring time, before any simulation runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+# Severity levels. ``error`` findings fail the default lint run; ``warning``
+# findings fail only under ``--strict``.
+ERROR = "error"
+WARNING = "warning"
+
+
+@dataclass
+class Rule:
+    """One lint rule: id, severity and a one-line description."""
+
+    rule_id: str
+    severity: str
+    title: str
+    description: str
+
+
+RULES: Dict[str, Rule] = {
+    rule.rule_id: rule
+    for rule in (
+        Rule(
+            "DF001",
+            ERROR,
+            "solo-wait",
+            "basic-Event inter-node wait in replica-group code: one "
+            "fail-slow peer stalls the waiter (the paper's red edge)",
+        ),
+        Rule(
+            "DF002",
+            ERROR,
+            "unbounded-wait",
+            "inter-node wait with no timeout: a fail-slow source can park "
+            "the coroutine forever",
+        ),
+        Rule(
+            "DF003",
+            ERROR,
+            "blocking-call",
+            "blocking call (time.sleep / file IO / network IO) inside a "
+            "coroutine body: stalls the whole scheduler, not one task",
+        ),
+        Rule(
+            "DF004",
+            WARNING,
+            "event-leak",
+            "event constructed but never triggered, waited on, or composed: "
+            "any coroutine parked on it later waits forever",
+        ),
+        Rule(
+            "DF005",
+            WARNING,
+            "tight-quorum",
+            "quorum with k == n: every member is on the critical path, so "
+            "the quorum degenerates to an all-wait",
+        ),
+        Rule(
+            "DF006",
+            ERROR,
+            "yield-starvation",
+            "loop with no wait point and no way to make progress: busy-waits "
+            "and starves the cooperative scheduler",
+        ),
+    )
+}
+
+
+# ---------------------------------------------------------------------------
+# Event shapes — the static analog of Event.wait_edges()
+# ---------------------------------------------------------------------------
+
+# Shape kinds; these intentionally match the runtime ``Event.kind`` strings
+# so the static↔runtime SPG diff can line the two worlds up.
+BASIC_KINDS = frozenset({"event", "value", "rpc"})
+LOCAL_KINDS = frozenset({"timer", "shared_int", "disk", "cpu", "never", "local"})
+COMPOUND_KINDS = frozenset({"and", "or"})
+
+# Source expressions that statically denote "this node" — waits sourced at
+# self are local (disk, CPU, own promises) and draw no SPG edge.
+LOCAL_SOURCE_EXPRS = frozenset(
+    {"None", "self.id", "self.node", "self.node_id", "self.node.node_id"}
+)
+
+
+@dataclass
+class EventShape:
+    """Statically-resolved structure of one event expression.
+
+    ``k_expr``/``n_expr`` are the unparsed quorum arguments (``None`` when
+    not a quorum); ``tight`` is True when ``k == n`` is statically certain.
+    ``sources`` holds the unparsed source expressions of basic events;
+    ``remote`` is True when at least one dependency leaves this node.
+    """
+
+    kind: str
+    sources: List[str] = field(default_factory=list)
+    remote: bool = False
+    k_expr: Optional[str] = None
+    n_expr: Optional[str] = None
+    tight: Optional[bool] = None
+    children: List["EventShape"] = field(default_factory=list)
+    # How many .add() calls were observed on this (quorum) shape; used to
+    # infer n when n_total is not given.
+    added_children: int = 0
+
+    def is_basic(self) -> bool:
+        return self.kind in BASIC_KINDS
+
+    def is_quorum(self) -> bool:
+        return self.kind == "quorum"
+
+    def is_local(self) -> bool:
+        return not self.remote
+
+    def describe(self) -> str:
+        if self.is_quorum():
+            k = self.k_expr or "?"
+            n = self.n_expr or (str(self.added_children) if self.added_children else "?")
+            return f"quorum({k} of {n})"
+        if self.kind in COMPOUND_KINDS:
+            inner = ", ".join(child.describe() for child in self.children)
+            return f"{self.kind}({inner})"
+        if self.sources:
+            return f"{self.kind}[source={', '.join(self.sources)}]"
+        return self.kind
+
+
+def local_shape(kind: str = "local") -> EventShape:
+    return EventShape(kind=kind, remote=False)
+
+
+UNKNOWN = object()  # sentinel: expression did not resolve to an event
+
+
+@dataclass
+class WaitExpr:
+    """A resolved ``<event>.wait(...)`` (or bare event) expression."""
+
+    shape: EventShape
+    has_timeout: bool
+
+
+# ---------------------------------------------------------------------------
+# Scan results
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WaitSite:
+    """One ``yield <wait>`` in a coroutine, with its resolved shape."""
+
+    path: str
+    module: str
+    qualname: str
+    lineno: int
+    col: int
+    shape: EventShape
+    has_timeout: bool
+    dedicated: bool
+    replica: bool  # enclosing class is replica-group code
+
+
+@dataclass
+class FunctionScan:
+    """Static facts about one function definition."""
+
+    qualname: str
+    name: str
+    lineno: int
+    end_lineno: int
+    is_coroutine: bool
+    class_name: Optional[str]
+    replica: bool
+    dedicated: bool = False
+    callees: Set[str] = field(default_factory=set)
+    wait_sites: List[WaitSite] = field(default_factory=list)
+
+
+@dataclass
+class Suppressions:
+    """`# depfast: allow(...)` carve-outs for one file.
+
+    Mirrors the runtime checker's ``dedication`` exemption: the author
+    asserts a flagged wait is deliberate, and the justification rides in
+    the trailing comment text.
+    """
+
+    file_rules: Set[str] = field(default_factory=set)
+    line_rules: Dict[int, Set[str]] = field(default_factory=dict)
+    # Function spans (start, end) -> rules, from allow() on a `def` line.
+    span_rules: List[Tuple[int, int, Set[str]]] = field(default_factory=list)
+
+    def allows(self, rule_id: str, lineno: int) -> bool:
+        if rule_id in self.file_rules:
+            return True
+        if rule_id in self.line_rules.get(lineno, set()):
+            return True
+        for start, end, rules in self.span_rules:
+            if start <= lineno <= end and rule_id in rules:
+                return True
+        return False
+
+
+@dataclass
+class Finding:
+    """One rule violation (possibly suppressed by an allow comment)."""
+
+    rule_id: str
+    path: str
+    lineno: int
+    col: int
+    qualname: str
+    message: str
+    suppressed: bool = False
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.rule_id].severity
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.lineno, self.col, self.rule_id)

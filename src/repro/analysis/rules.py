@@ -1,0 +1,346 @@
+"""The depfast-lint rule engine: six static fail-slow tolerance rules.
+
+Each rule turns one anti-pattern from the paper's §3.1 discussion into a
+compile-time finding:
+
+* **DF001 solo-wait** — a basic-Event inter-node wait in replica-group
+  code: the statically-visible version of the SPG's red edge. Dedicated
+  (per-peer stream) coroutines are exempt, mirroring the runtime checker.
+* **DF002 unbounded-wait** — an inter-node wait with no ``timeout_ms``:
+  there is no bound on how long a fail-slow source parks the coroutine.
+* **DF003 blocking-call** — ``time.sleep`` / file IO / socket IO inside a
+  coroutine body: blocks the scheduler thread, not just the one task.
+* **DF004 event-leak** — an event constructed and then never waited on,
+  triggered, composed, stored or passed along.
+* **DF005 tight-quorum** — ``k == n``: nominally a quorum, actually an
+  all-wait; every straggler is on the critical path.
+* **DF006 yield-starvation** — a loop with no wait point whose condition
+  the body cannot change: a busy-wait that starves cooperative peers.
+
+Rules only fire on *resolved* facts; expressions the data-flow pass could
+not identify never produce findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.model import EventShape, Finding, WaitSite
+from repro.analysis.resolve import _call_name
+from repro.analysis.scanner import ModuleScan, _iter_own_nodes
+
+# Call targets treated as blocking the OS thread (DF003). Matching is on
+# the dotted tail, e.g. ``time.sleep`` or a bare ``open``.
+_BLOCKING_CALLS = {
+    "time.sleep",
+    "open",
+    "os.read",
+    "os.write",
+    "os.fsync",
+    "socket.socket",
+    "subprocess.run",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "urllib.request.urlopen",
+    "requests.get",
+    "requests.post",
+    "input",
+}
+
+# Event constructors tracked for DF004 leak detection.
+_EVENT_CONSTRUCTORS = {
+    "Event",
+    "ValueEvent",
+    "RpcEvent",
+    "SharedIntEvent",
+    "QuorumEvent",
+    "AndEvent",
+    "OrEvent",
+    "NeverEvent",
+}
+
+
+def run_rules(scans: Iterable[ModuleScan]) -> List[Finding]:
+    findings: List[Finding] = []
+    for scan in scans:
+        findings.extend(_scan_findings(scan))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _scan_findings(scan: ModuleScan) -> List[Finding]:
+    findings: List[Finding] = []
+    for func, node in _function_nodes(scan):
+        for site in func.wait_sites:
+            findings.extend(_check_wait_site(site))
+        if func.is_coroutine:
+            findings.extend(_df003_blocking_calls(scan, func, node))
+            findings.extend(_df006_starving_loops(scan, func, node))
+        findings.extend(_df004_event_leaks(scan, func, node))
+        findings.extend(_df005_tight_quorums(scan, func, node))
+    # Apply suppressions.
+    for finding in findings:
+        if scan.suppressions.allows(finding.rule_id, finding.lineno):
+            finding.suppressed = True
+    return findings
+
+
+def _function_nodes(scan: ModuleScan):
+    """Pair each FunctionScan with its AST node (matched by position)."""
+    by_pos = {}
+    for node in ast.walk(scan.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            by_pos[(node.lineno, node.name)] = node
+    for func in scan.functions:
+        node = by_pos.get((func.lineno, func.name))
+        if node is not None:
+            yield func, node
+
+
+# ---------------------------------------------------------------------------
+# Wait-site rules (DF001, DF002)
+# ---------------------------------------------------------------------------
+
+
+def _check_wait_site(site: WaitSite) -> List[Finding]:
+    findings: List[Finding] = []
+    shape = site.shape
+    if site.replica and not site.dedicated and _has_solo_remote(shape):
+        findings.append(
+            Finding(
+                rule_id="DF001",
+                path=site.path,
+                lineno=site.lineno,
+                col=site.col,
+                qualname=site.qualname,
+                message=(
+                    f"solo inter-node wait on {shape.describe()} in "
+                    "replica-group code: one fail-slow peer stalls this "
+                    "coroutine (use a QuorumEvent, or a dedicated per-peer "
+                    "stream)"
+                ),
+            )
+        )
+    if shape.remote and not site.has_timeout:
+        findings.append(
+            Finding(
+                rule_id="DF002",
+                path=site.path,
+                lineno=site.lineno,
+                col=site.col,
+                qualname=site.qualname,
+                message=(
+                    f"unbounded inter-node wait on {shape.describe()}: pass "
+                    "timeout_ms so a fail-slow source cannot park this "
+                    "coroutine forever"
+                ),
+            )
+        )
+    return findings
+
+
+def _has_solo_remote(shape: EventShape) -> bool:
+    """A basic (1/1) remote dependency anywhere in the wait's shape tree."""
+    if shape.is_basic() and shape.remote:
+        return True
+    if shape.kind == "and":
+        # And needs *every* child: a basic remote child is critical.
+        return any(_has_solo_remote(child) for child in shape.children)
+    if shape.kind == "or" and shape.children:
+        # Or tolerates slow branches unless every branch shares the need.
+        return all(_has_solo_remote(child) for child in shape.children)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# DF003 — blocking calls inside coroutines
+# ---------------------------------------------------------------------------
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _df003_blocking_calls(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
+    findings = []
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.Call):
+            continue
+        dotted = _dotted_name(child.func)
+        if dotted in _BLOCKING_CALLS:
+            findings.append(
+                Finding(
+                    rule_id="DF003",
+                    path=scan.path,
+                    lineno=child.lineno,
+                    col=child.col_offset,
+                    qualname=func.qualname,
+                    message=(
+                        f"blocking call {dotted}() inside coroutine: this "
+                        "stalls the scheduler for every coroutine on the "
+                        "node — use runtime.sleep()/io helpers instead"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DF004 — constructed-but-orphaned events
+# ---------------------------------------------------------------------------
+
+
+def _df004_event_leaks(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
+    findings = []
+    assignments = []  # (name, lineno, col, constructor)
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.Assign) or len(child.targets) != 1:
+            continue
+        target = child.targets[0]
+        if not isinstance(target, ast.Name) or not isinstance(child.value, ast.Call):
+            continue
+        ctor = _call_name(child.value.func)
+        if ctor in _EVENT_CONSTRUCTORS:
+            assignments.append((target.id, child.lineno, child.col_offset, ctor, child))
+    if not assignments:
+        return findings
+    # Count *loads* of each name across the whole function; a constructed
+    # event whose variable is never read again can never trigger a waiter.
+    loads: Set[str] = set()
+    for child in _iter_own_nodes(node):
+        if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
+            loads.add(child.id)
+    for name, lineno, col, ctor, _stmt in assignments:
+        if name not in loads:
+            findings.append(
+                Finding(
+                    rule_id="DF004",
+                    path=scan.path,
+                    lineno=lineno,
+                    col=col,
+                    qualname=func.qualname,
+                    message=(
+                        f"event {name!r} ({ctor}) is constructed but never "
+                        "waited on, triggered, or composed — an orphaned "
+                        "event leaves any future waiter parked forever"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DF005 — tight quorums (k == n)
+# ---------------------------------------------------------------------------
+
+
+def _df005_tight_quorums(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
+    findings = []
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = _call_name(child.func)
+        if name not in ("QuorumEvent", "QuorumCall"):
+            continue
+        from repro.analysis.resolve import ShapeResolver
+
+        resolver = ShapeResolver()
+        shape = resolver.resolve(child)
+        if isinstance(shape, EventShape) and shape.is_quorum() and shape.tight:
+            findings.append(
+                Finding(
+                    rule_id="DF005",
+                    path=scan.path,
+                    lineno=child.lineno,
+                    col=child.col_offset,
+                    qualname=func.qualname,
+                    message=(
+                        f"tight quorum ({shape.k_expr} of {shape.n_expr}): "
+                        "k == n puts every member on the critical path — a "
+                        "single straggler delays the wait; use k < n or an "
+                        "Or-composition with an abort branch"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DF006 — scheduler-starving loops
+# ---------------------------------------------------------------------------
+
+
+def _df006_starving_loops(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
+    findings = []
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.While):
+            continue
+        if _loop_has_wait(child) or _loop_can_exit(child):
+            continue
+        findings.append(
+            Finding(
+                rule_id="DF006",
+                path=scan.path,
+                lineno=child.lineno,
+                col=child.col_offset,
+                qualname=func.qualname,
+                message=(
+                    "loop has no wait point and its body cannot change the "
+                    "loop condition: it busy-waits, starving every other "
+                    "coroutine on this scheduler — yield a wait (or the "
+                    "YIELD reschedule sentinel) inside the loop"
+                ),
+            )
+        )
+    return findings
+
+
+def _loop_has_wait(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return False  # nested defs end the coroutine's own frame
+    return False
+
+
+def _loop_can_exit(loop: ast.While) -> bool:
+    """True if the loop body can terminate the loop: an explicit break /
+    return / raise, or a mutation of something named in the condition."""
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Break, ast.Return, ast.Raise)):
+            return True
+    condition_names = _dotted_names(loop.test)
+    if not condition_names:
+        return False  # e.g. ``while True`` with no break
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                dotted = _dotted_name(target)
+                if dotted is not None and dotted in condition_names:
+                    return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            dotted = _dotted_name(node.func.value)
+            if dotted is not None and dotted in condition_names:
+                return True  # method call on a condition operand may mutate it
+    return False
+
+
+def _dotted_names(expr: ast.AST) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(expr):
+        dotted = _dotted_name(node)
+        if dotted is not None:
+            names.add(dotted)
+    return names

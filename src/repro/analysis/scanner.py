@@ -1,0 +1,426 @@
+"""AST scanner: walk generator coroutines and extract their wait points.
+
+One :class:`ModuleScan` per file. The scanner
+
+* finds every function and whether it is a *coroutine* (contains a
+  ``yield``), mirroring how the runtime spawns generator coroutines;
+* detects **replica-group classes** — classes that guard group membership
+  (``if node_id not in group: raise``) or compute a ``self.peers`` list —
+  which is where the paper's §3.1 quorum-only property applies;
+* marks **dedicated** coroutines: generator functions spawned with
+  ``dedication=...`` (plus their exclusive callees), the static analog of
+  the runtime checker's per-peer-stream exemption;
+* resolves each ``yield`` wait point's event expression through
+  :mod:`repro.analysis.resolve` into a :class:`WaitSite`;
+* parses ``# depfast: allow(DFnnn)`` / ``# depfast: allow-file(DFnnn)``
+  suppression comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.model import (
+    EventShape,
+    FunctionScan,
+    Suppressions,
+    WaitExpr,
+    WaitSite,
+)
+from repro.analysis.resolve import ShapeResolver, _call_name
+
+_ALLOW_RE = re.compile(r"#\s*depfast:\s*(allow|allow-file)\(([^)]*)\)")
+_RULE_SPLIT_RE = re.compile(r"[,\s]+")
+
+
+@dataclass
+class ModuleScan:
+    """Everything the analysis knows about one source file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    source_lines: List[str]
+    functions: List[FunctionScan] = field(default_factory=list)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+    # qualname -> FunctionScan for call-graph lookups.
+    by_name: Dict[str, FunctionScan] = field(default_factory=dict)
+
+
+class ScanError(RuntimeError):
+    """Raised when a path cannot be scanned (missing, unparsable)."""
+
+
+# ---------------------------------------------------------------------------
+# Path collection
+# ---------------------------------------------------------------------------
+
+
+def collect_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in ("__pycache__", ".git")
+                )
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        files.append(os.path.join(dirpath, filename))
+        elif os.path.isfile(path) and path.endswith(".py"):
+            files.append(path)
+        else:
+            raise ScanError(f"not a python file or directory: {path}")
+    return files
+
+
+def _module_name(path: str) -> str:
+    parts = os.path.normpath(path).split(os.sep)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    name = "/".join(parts)
+    name = name[:-3] if name.endswith(".py") else name
+    return name.replace("/", ".").removesuffix(".__init__")
+
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+
+def parse_suppressions(source_lines: List[str]) -> Suppressions:
+    suppressions = Suppressions()
+    for index, line in enumerate(source_lines, start=1):
+        match = _ALLOW_RE.search(line)
+        if not match:
+            continue
+        rules = {
+            rule.strip().upper()
+            for rule in _RULE_SPLIT_RE.split(match.group(2))
+            if rule.strip()
+        }
+        if match.group(1) == "allow-file":
+            suppressions.file_rules |= rules
+            continue
+        suppressions.line_rules.setdefault(index, set()).update(rules)
+        if line.lstrip().startswith("#"):
+            # A standalone comment suppresses the next *code* line, skipping
+            # the rest of the comment block (justifications span lines).
+            target = index + 1
+            while target <= len(source_lines):
+                stripped = source_lines[target - 1].strip()
+                if stripped and not stripped.startswith("#"):
+                    break
+                target += 1
+            if target <= len(source_lines):
+                suppressions.line_rules.setdefault(target, set()).update(rules)
+    return suppressions
+
+
+# ---------------------------------------------------------------------------
+# Class / function discovery
+# ---------------------------------------------------------------------------
+
+
+def _contains_yield(func: ast.AST) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if _owner_function(func, node):
+                return True
+    return False
+
+
+def _iter_own_nodes(func: ast.AST):
+    """Walk a function's AST without descending into nested functions."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _owner_function(func: ast.AST, target: ast.AST) -> bool:
+    return any(node is target for node in _iter_own_nodes(func))
+
+
+def _class_is_replica(cls: ast.ClassDef) -> bool:
+    """Replica-group code: a class whose constructor asserts membership in
+    a group list, or which derives a ``self.peers`` list."""
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr == "peers"
+                ):
+                    return True
+        if isinstance(node, ast.If) and isinstance(node.test, ast.Compare):
+            if any(isinstance(op, ast.NotIn) for op in node.test.ops) and any(
+                isinstance(child, ast.Raise) for child in node.body
+            ):
+                return True
+    return False
+
+
+def _callees(func: ast.AST) -> Set[str]:
+    """Bare names of self-methods / local functions this function calls."""
+    names: Set[str] = set()
+    for node in _iter_own_nodes(func):
+        if isinstance(node, ast.Call):
+            target = node.func
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                names.add(target.attr)
+            elif isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+def _dedicated_spawn_targets(tree: ast.Module) -> Set[str]:
+    """Functions spawned with ``dedication=...`` anywhere in the module."""
+    targets: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or _call_name(node.func) != "spawn":
+            continue
+        dedication = next(
+            (kw.value for kw in node.keywords if kw.arg == "dedication"), None
+        )
+        if dedication is None or (
+            isinstance(dedication, ast.Constant) and dedication.value is None
+        ):
+            continue
+        if node.args and isinstance(node.args[0], ast.Call):
+            name = _call_name(node.args[0].func)
+            if name is not None:
+                targets.add(name)
+    return targets
+
+
+# ---------------------------------------------------------------------------
+# Wait-site extraction (ordered statement walk)
+# ---------------------------------------------------------------------------
+
+
+class _FunctionWalker:
+    """Processes one function's statements in source order, resolving the
+    event expression of every ``yield`` against the running environment."""
+
+    def __init__(
+        self,
+        scan: ModuleScan,
+        func_scan: FunctionScan,
+        func_node: ast.AST,
+        return_shapes: Dict[str, EventShape],
+    ):
+        self.scan = scan
+        self.func = func_scan
+        self.resolver = ShapeResolver(return_shapes)
+        self.return_shape: Optional[EventShape] = None
+        self.unresolved_yields = 0
+        self._walk(func_node.body)
+
+    # -- statement dispatch -------------------------------------------
+    def _walk(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+        self._extract_yields(stmt)
+        self._observe_calls(stmt)
+        if isinstance(stmt, ast.Assign) and not self._has_yield(stmt.value):
+            for target in stmt.targets:
+                self.resolver.assign(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if not self._has_yield(stmt.value):
+                self.resolver.assign(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            resolved = self.resolver.resolve(stmt.value)
+            if isinstance(resolved, EventShape):
+                self.return_shape = resolved
+        # Recurse into nested blocks with the same environment (no branch
+        # merging: protocol code is overwhelmingly straight-line per block).
+        for block in ("body", "orelse", "finalbody"):
+            children = getattr(stmt, block, None)
+            if children and not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                self._walk(children)
+        for handler in getattr(stmt, "handlers", []) or []:
+            self._walk(handler.body)
+
+    # -- helpers -------------------------------------------------------
+    def _statement_expressions(self, stmt: ast.stmt):
+        """Expression roots of a statement, excluding its nested blocks."""
+        for name, value in ast.iter_fields(stmt):
+            if name in ("body", "orelse", "finalbody", "handlers"):
+                continue
+            if isinstance(value, ast.expr):
+                yield value
+            elif isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.expr):
+                        yield item
+
+    def _iter_exprs(self, stmt: ast.stmt):
+        for root in self._statement_expressions(stmt):
+            stack = [root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, ast.Lambda):
+                    continue
+                yield node
+                stack.extend(ast.iter_child_nodes(node))
+
+    def _has_yield(self, expr: ast.AST) -> bool:
+        return any(
+            isinstance(node, (ast.Yield, ast.YieldFrom)) for node in ast.walk(expr)
+        )
+
+    def _extract_yields(self, stmt: ast.stmt) -> None:
+        yields = [
+            node
+            for node in self._iter_exprs(stmt)
+            if isinstance(node, ast.Yield) and node.value is not None
+        ]
+        for node in sorted(yields, key=lambda item: (item.lineno, item.col_offset)):
+            resolved = self.resolver.resolve(node.value)
+            if isinstance(resolved, WaitExpr):
+                shape, has_timeout = resolved.shape, resolved.has_timeout
+            elif isinstance(resolved, EventShape):
+                shape, has_timeout = resolved, False  # ``yield event`` shorthand
+            else:
+                self.unresolved_yields += 1
+                continue
+            self.func.wait_sites.append(
+                WaitSite(
+                    path=self.scan.path,
+                    module=self.scan.module,
+                    qualname=self.func.qualname,
+                    lineno=node.lineno,
+                    col=node.col_offset,
+                    shape=shape,
+                    has_timeout=has_timeout,
+                    dedicated=self.func.dedicated,
+                    replica=self.func.replica,
+                )
+            )
+
+    def _observe_calls(self, stmt: ast.stmt) -> None:
+        calls = [node for node in self._iter_exprs(stmt) if isinstance(node, ast.Call)]
+        for call in sorted(calls, key=lambda item: (item.lineno, item.col_offset)):
+            self.resolver.observe_call(call)
+
+
+# ---------------------------------------------------------------------------
+# Module scan
+# ---------------------------------------------------------------------------
+
+
+def scan_module(path: str) -> ModuleScan:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        tree = ast.parse(source, filename=path)
+    except (OSError, SyntaxError) as exc:
+        raise ScanError(f"cannot scan {path}: {exc}") from exc
+    source_lines = source.splitlines()
+    scan = ModuleScan(
+        path=path,
+        module=_module_name(path),
+        tree=tree,
+        source_lines=source_lines,
+        suppressions=parse_suppressions(source_lines),
+    )
+
+    functions: List[Tuple[ast.AST, FunctionScan]] = []
+
+    def visit_body(body, class_name: Optional[str], replica: bool, prefix: str):
+        for node in body:
+            if isinstance(node, ast.ClassDef):
+                visit_body(
+                    node.body,
+                    node.name,
+                    _class_is_replica(node),
+                    f"{prefix}{node.name}.",
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                func_scan = FunctionScan(
+                    qualname=f"{prefix}{node.name}",
+                    name=node.name,
+                    lineno=node.lineno,
+                    end_lineno=getattr(node, "end_lineno", node.lineno),
+                    is_coroutine=_contains_yield(node),
+                    class_name=class_name,
+                    replica=replica,
+                    callees=_callees(node),
+                )
+                functions.append((node, func_scan))
+                scan.functions.append(func_scan)
+                scan.by_name[func_scan.name] = func_scan
+                visit_body(node.body, class_name, replica, f"{prefix}{node.name}.")
+
+    visit_body(tree.body, None, False, "")
+
+    # Dedication: spawn targets with dedication=..., closed over functions
+    # reachable *only* from dedicated coroutines.
+    _propagate_dedication(scan, _dedicated_spawn_targets(tree))
+
+    # def-line suppressions extend over the whole function body.
+    for _node, func_scan in functions:
+        rules = scan.suppressions.line_rules.get(func_scan.lineno)
+        if rules:
+            scan.suppressions.span_rules.append(
+                (func_scan.lineno, func_scan.end_lineno, set(rules))
+            )
+
+    # Pass 1: infer helper return shapes; pass 2: extract wait sites.
+    return_shapes: Dict[str, EventShape] = {}
+    for node, func_scan in functions:
+        walker = _FunctionWalker(scan, func_scan, node, {})
+        func_scan.wait_sites.clear()
+        if walker.return_shape is not None:
+            return_shapes[func_scan.name] = walker.return_shape
+    for node, func_scan in functions:
+        func_scan.wait_sites.clear()
+        _FunctionWalker(scan, func_scan, node, return_shapes)
+    return scan
+
+
+def _propagate_dedication(scan: ModuleScan, roots: Set[str]) -> None:
+    """A function is dedicated if it is a dedicated spawn target, or if
+    every function that calls it is itself dedicated (fixpoint)."""
+    callers: Dict[str, Set[str]] = {}
+    for func in scan.functions:
+        for callee in func.callees:
+            callers.setdefault(callee, set()).add(func.name)
+    dedicated: Set[str] = set(roots)
+    changed = True
+    while changed:
+        changed = False
+        for func in scan.functions:
+            if func.name in dedicated:
+                continue
+            calling = callers.get(func.name, set())
+            if calling and calling <= dedicated:
+                dedicated.add(func.name)
+                changed = True
+    for func in scan.functions:
+        if func.name in dedicated:
+            func.dedicated = True
+            for site in func.wait_sites:
+                site.dedicated = True
+
+
+def scan_paths(paths: Iterable[str]) -> List[ModuleScan]:
+    return [scan_module(path) for path in collect_files(paths)]

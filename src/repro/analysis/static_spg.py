@@ -1,0 +1,121 @@
+"""Static SPG approximation: predict the runtime slowness propagation
+graph from wait sites alone.
+
+The runtime SPG (:mod:`repro.trace.spg`) has concrete node names on its
+edges because it watched real waits. Statically we cannot know that
+``self.peers`` will be ``{"s2", "s3"}``, so the static graph is one of
+*edge classes*, not node pairs:
+
+* ``color`` — ``green`` for a non-tight quorum wait (k < n slack survives
+  a slow minority), ``red`` for a solo basic-event wait or a tight quorum;
+* ``scope`` — ``group`` when the wait lives in replica-group code (both
+  endpoints share a replica group at runtime) vs ``boundary`` for
+  client→service waits outside any group;
+* ``dedicated`` — the wait belongs to a per-peer dedicated stream.
+
+The differ (:mod:`repro.analysis.spgdiff`) then asks, for every concrete
+runtime edge, whether a static edge class predicts it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.analysis.model import EventShape, WaitSite
+from repro.analysis.scanner import ModuleScan
+
+GREEN = "green"
+RED = "red"
+
+
+@dataclass(frozen=True)
+class StaticEdge:
+    """One predicted SPG edge class, anchored at the wait site that emits it."""
+
+    path: str
+    qualname: str
+    lineno: int
+    color: str
+    scope: str  # "group" | "boundary"
+    dedicated: bool
+    label: str  # human-readable shape, e.g. "quorum(self.majority of len(self.group))"
+
+
+@dataclass
+class StaticSpg:
+    """All statically predicted inter-node wait edges."""
+
+    edges: List[StaticEdge] = field(default_factory=list)
+
+    def matching(
+        self, color: str, scope: str, include_dedicated: bool = True
+    ) -> List[StaticEdge]:
+        return [
+            edge
+            for edge in self.edges
+            if edge.color == color
+            and edge.scope == scope
+            and (include_dedicated or not edge.dedicated)
+        ]
+
+    def render(self) -> str:
+        lines = [f"static SPG: {len(self.edges)} predicted edge classes"]
+        for edge in sorted(
+            self.edges, key=lambda e: (e.path, e.lineno, e.color)
+        ):
+            marker = "!" if edge.color == RED else " "
+            flags = " dedicated" if edge.dedicated else ""
+            lines.append(
+                f" {marker} {edge.path}:{edge.lineno} [{edge.color:>5}] "
+                f"{edge.scope}{flags}  {edge.qualname}  {edge.label}"
+            )
+        return "\n".join(lines)
+
+
+def _shape_colors(shape: EventShape) -> List[str]:
+    """Colors of the inter-node edges this shape draws at runtime.
+
+    Mirrors the runtime rule (green iff k < n per edge): a non-tight
+    quorum gives green, a basic remote event gives red, And/Or defer to
+    their children — including children attached later via ``.add()``.
+    """
+    if shape.is_quorum():
+        if not shape.remote and not shape.children:
+            # Quorum over purely-local children (e.g. SharedIntEvent acks)
+            # draws no inter-node edge.
+            return []
+        return [RED if shape.tight is True else GREEN]
+    if shape.is_basic():
+        return [RED] if shape.remote else []
+    if shape.kind in ("and", "or"):
+        colors: List[str] = []
+        for child in shape.children:
+            colors.extend(_shape_colors(child))
+        return colors
+    return []
+
+
+def build_static_spg(scans: Iterable[ModuleScan]) -> StaticSpg:
+    spg = StaticSpg()
+    for scan in scans:
+        for func in scan.functions:
+            for site in func.wait_sites:
+                spg.edges.extend(_site_edges(site))
+    return spg
+
+
+def _site_edges(site: WaitSite) -> List[StaticEdge]:
+    scope = "group" if site.replica else "boundary"
+    return [
+        StaticEdge(
+            path=site.path,
+            qualname=site.qualname,
+            lineno=site.lineno,
+            color=color,
+            scope=scope,
+            dedicated=site.dedicated,
+            label=site.shape.describe(),
+        )
+        for color in _shape_colors(site.shape)
+    ]

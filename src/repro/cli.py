@@ -8,9 +8,11 @@ Usage::
     python -m repro figure3 [--smoke]
     python -m repro experiment --system depfast --fault cpu_slow
     python -m repro chaos [--seed N] [--seeds 20] [--group-sizes 3 5]
+    python -m repro lint [paths] [--format text|json] [--strict]
 
 ``--smoke`` runs a shortened profile (shapes, not magnitudes); the default
-is the full paper profile used by EXPERIMENTS.md.
+is the full paper profile used by EXPERIMENTS.md. ``lint`` runs the static
+fail-slow tolerance analysis (depfast-lint) over coroutine code.
 """
 
 from __future__ import annotations
@@ -97,6 +99,12 @@ def _cmd_chaos(args) -> int:
     return 0 if campaign.ok else 1
 
 
+def _cmd_lint(args) -> int:
+    from repro.analysis.lint import main as lint_main
+
+    return lint_main(args.paths, fmt=args.format, strict=args.strict)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -127,9 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     exp.set_defaults(func=_cmd_experiment)
 
     chaos = sub.add_parser(
-        "chaos",
-        help="nemesis campaign: crashes + partitions + loss + Table 1 faults, "
-        "checked for linearizability and exactly-once effects",
+        "chaos", help="chaos campaign: nemesis faults + linearizability check"
     )
     chaos.add_argument(
         "--seed", type=int, default=None, help="run exactly one seed (replay/debug)"
@@ -150,6 +156,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--verbose", action="store_true", help="print nemesis logs")
     chaos.set_defaults(func=_cmd_chaos)
+
+    lint = sub.add_parser(
+        "lint", help="static fail-slow tolerance analysis (depfast-lint)"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to scan (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text", help="report format"
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail the run (exit 1)",
+    )
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

@@ -110,13 +110,27 @@ class OrEvent(CompoundEvent):
 
     def wait_edges(self) -> List[tuple]:
         # An Or-wait depends on its alternatives only weakly: the waiter
-        # needs 1 of n branches. Report each child's edges with the
-        # "1-of-n" discount applied at the branch level.
-        edges: List[tuple] = []
+        # needs 1 of n branches, so each branch's edges get a "1-of-n"
+        # discount. Exception: a source that is *critical in every branch*
+        # (its edge has k >= total, so that branch cannot complete without
+        # it) cannot be routed around by picking another branch — its edges
+        # keep their original k/n and stay on the critical path.
+        branch_edges = [child.wait_edges() for child in self.children]
+        critical_per_branch = [
+            {source for source, k, total in edges if k >= total}
+            for edges in branch_edges
+        ]
+        unavoidable = (
+            set.intersection(*critical_per_branch) if critical_per_branch else set()
+        )
         n = len(self.children)
-        for child in self.children:
-            for source, k, total in child.wait_edges():
-                edges.append((source, k, max(total, n)))
+        edges: List[tuple] = []
+        for child_edges in branch_edges:
+            for source, k, total in child_edges:
+                if source in unavoidable and k >= total:
+                    edges.append((source, k, total))
+                else:
+                    edges.append((source, k, max(total, n)))
         return edges
 
 

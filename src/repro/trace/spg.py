@@ -17,9 +17,8 @@ import networkx as nx
 
 from repro.trace.tracepoints import WaitRecord
 
-# Event kinds whose waits tolerate a fail-slow minority.
-_QUORUM_KINDS = frozenset({"quorum"})
-# Kinds that merely combine other waits; their children decide the color.
+# Kinds that merely combine other waits ("and"/"or"): their wait_edges()
+# recursively defer to grandchildren, so edge color is decided per edge.
 _TRANSPARENT_KINDS = frozenset({"and", "or"})
 
 
@@ -58,13 +57,18 @@ class SpgEdge:
 
 
 def _edge_color(record: WaitRecord, k: int, n: int) -> str:
-    """Green iff the wait tolerates at least one slow source."""
-    if record.event_kind in _QUORUM_KINDS:
-        return "green"
-    if record.event_kind in _TRANSPARENT_KINDS and k < n:
-        # A nested quorum seen through And/Or keeps its k<n slack.
-        return "green"
-    return "red"
+    """Green iff the wait tolerates at least one slow source.
+
+    The decision is purely per-edge: ``wait_edges()`` already pushed each
+    event's quorum shape down to its edges (a QuorumEvent stamps its own
+    k/n on every child edge; And/Or pass grandchildren's shapes through
+    recursively), so ``k < n`` on the edge *is* the slack. Classifying by
+    the top-level ``event_kind`` instead would mis-color nested compounds
+    — e.g. a tight k==n quorum, or a basic event seen through an AndEvent
+    — because the top-level kind says nothing about which child an edge
+    came from.
+    """
+    return "green" if k < n else "red"
 
 
 def build_spg(records: Iterable[WaitRecord]) -> nx.DiGraph:

@@ -90,6 +90,9 @@ class TxnCoordinator:
                 self._drive_shard_op(shard, payload, vote),
                 name=f"{txn_id}:prepare:{shard}",
             )
+        # depfast: allow(DF005) — 2PC semantics: commit needs every shard's
+        # yes, so k == n is forced. The OrEvent below with any_no (1 of n)
+        # restores the early-out: one no aborts without waiting for all.
         all_yes = QuorumEvent(
             len(shards),
             n_total=len(shards),
@@ -166,6 +169,8 @@ class TxnCoordinator:
                 self._drive_shard_op(shard, record, ack),
                 name=f"{txn_id}:{record[0]}:{shard}",
             )
+        # depfast: allow(DF005) — phase 2 must reach every shard (locks are
+        # only released on delivery); the timeout below bounds the wait.
         all_acked = QuorumEvent(len(acks), n_total=len(acks), name=f"{txn_id}:phase2")
         for ack in acks:
             all_acked.add(ack)

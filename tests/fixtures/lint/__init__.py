@@ -1,0 +1,5 @@
+"""Seeded anti-pattern fixtures for depfast-lint, one file per rule.
+
+These modules are *scanned*, never imported: each demonstrates exactly one
+rule firing (plus ``clean_quorum.py``, which must produce zero findings).
+"""

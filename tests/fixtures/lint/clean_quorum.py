@@ -1,0 +1,20 @@
+"""The §3.1 ideal: quorum-only waits with timeouts — zero findings."""
+
+from repro.events.compound import QuorumEvent
+
+
+class CleanReplica:
+    def __init__(self, node_id, group, endpoint):
+        if node_id not in group:
+            raise ValueError(node_id)
+        self.id = node_id
+        self.group = group
+        self.peers = [peer for peer in group if peer != node_id]
+        self.ep = endpoint
+
+    def replicate(self, op):
+        quorum = QuorumEvent(2, n_total=3, name="repl")
+        for peer in self.peers:
+            quorum.add(self.ep.call(peer, "append", {"op": op}, size_bytes=128))
+        result = yield quorum.wait(timeout_ms=100.0)
+        return result

@@ -1,0 +1,20 @@
+"""DF001: a basic-Event inter-node wait in replica-group code."""
+
+from repro.events.basic import Event
+
+
+class SoloWaitReplica:
+    def __init__(self, node_id, group):
+        if node_id not in group:
+            raise ValueError(node_id)
+        self.id = node_id
+        self.group = group
+
+    def replicate(self, op):
+        ack = Event(name="ack", source="s2")
+        self.send(op)
+        result = yield ack.wait(timeout_ms=50.0)  # line 16: DF001
+        return result
+
+    def send(self, op):
+        pass

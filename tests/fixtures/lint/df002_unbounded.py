@@ -1,0 +1,17 @@
+"""DF002: an inter-node wait with no timeout."""
+
+from repro.events.basic import RpcEvent
+from repro.events.compound import QuorumEvent
+
+
+class UnboundedReplica:
+    def __init__(self, node_id, group):
+        self.id = node_id
+        self.peers = [peer for peer in group if peer != node_id]
+
+    def replicate(self, op):
+        quorum = QuorumEvent(2, n_total=3, name="repl")
+        for peer in self.peers:
+            quorum.add(RpcEvent("append", to_node=peer))
+        result = yield quorum.wait()  # line 16: DF002 (no timeout_ms)
+        return result

@@ -1,0 +1,12 @@
+"""DF003: a blocking OS-thread call inside a coroutine body."""
+
+import time
+
+
+class CheckpointWriter:
+    def __init__(self, runtime):
+        self.rt = runtime
+
+    def checkpoint(self):
+        time.sleep(0.01)  # line 11: DF003
+        yield self.rt.sleep(5.0)

@@ -1,0 +1,13 @@
+"""DF004: an event constructed but never triggered, waited on or stored."""
+
+from repro.events.basic import Event
+
+
+class ForgetfulHandler:
+    def __init__(self, runtime):
+        self.rt = runtime
+
+    def handle(self, op):
+        done = Event(name="done", source="s2")  # line 11: DF004 (orphaned)
+        yield self.rt.sleep(1.0)
+        return op

@@ -1,0 +1,14 @@
+"""DF005: a quorum with k == n — every member on the critical path."""
+
+from repro.events.compound import QuorumEvent
+
+
+class AllAckBroadcaster:
+    def __init__(self, runtime):
+        self.rt = runtime
+
+    def broadcast(self, acks):
+        all_acks = QuorumEvent(3, n_total=3, name="all")  # line 11: DF005
+        for ack in acks:
+            all_acks.add(ack)
+        yield all_acks.wait(timeout_ms=100.0)

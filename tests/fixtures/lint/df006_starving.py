@@ -1,0 +1,12 @@
+"""DF006: a loop with no wait point whose condition the body cannot change."""
+
+
+class BusyPoller:
+    def __init__(self, runtime):
+        self.rt = runtime
+        self.draining = True
+
+    def poll(self):
+        while self.draining:  # line 10: DF006 (busy-wait, no yield)
+            polled = 1
+        yield self.rt.sleep(polled)

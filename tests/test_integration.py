@@ -144,3 +144,39 @@ class TestDeterminism:
             return driver.report(1000.0, 4000.0).avg_latency_ms
 
         assert run(1) != run(2)
+
+
+class TestStaticRuntimeSpgDiff:
+    """The static analyzer's SPG approximation must predict what the
+    tracer actually observes on the 3-node Raft scenario (>= 90%)."""
+
+    def test_static_predicts_runtime_edges(self):
+        from pathlib import Path
+
+        from repro.analysis import build_static_spg, diff_spg, scan_paths
+
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        cluster, raft, driver = deploy(GROUP3)
+        cluster.run(until_ms=4000.0)
+
+        static = build_static_spg(scan_paths([str(src)]))
+        diff = diff_spg(static, cluster.tracer.records, [GROUP3])
+
+        # The workload must have produced real inter-node waits, and at
+        # least 90% of the distinct (waiter, source, color) edges must be
+        # statically predicted.
+        assert len(diff.predicted) + len(diff.runtime_only) >= 3
+        assert diff.coverage >= 0.9
+        # The replication quorum's green group edges are among them.
+        green_group = [
+            edge for edge, _site in diff.predicted
+            if edge.color == "green" and edge.scope == "group"
+        ]
+        assert green_group
+        # The client->leader boundary wait is predicted as a red edge.
+        boundary = [
+            edge for edge, _site in diff.predicted
+            if edge.scope == "boundary" and edge.color == "red"
+        ]
+        assert boundary
+        assert "coverage" in diff.render()

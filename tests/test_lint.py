@@ -1,0 +1,342 @@
+"""Tests for depfast-lint: scanner, rules, fixtures, golden JSON, static SPG."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    build_static_spg,
+    diff_spg,
+    run_lint,
+    render_text,
+    scan_module,
+)
+from repro.analysis.lint import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE
+from repro.analysis.lint import main as lint_main
+from repro.cli import main as cli_main
+from repro.trace.tracepoints import WaitRecord
+
+REPO = Path(__file__).resolve().parent.parent
+FIXTURES = REPO / "tests" / "fixtures"
+SRC = REPO / "src" / "repro"
+
+
+def lint_fixture(name):
+    return run_lint([str(FIXTURES / "lint" / name)])
+
+
+def write_module(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return scan_module(str(path))
+
+
+class TestRuleFixtures:
+    """Each rule is demonstrated by a seeded fixture, flagged at the
+    expected file and line."""
+
+    @pytest.mark.parametrize(
+        "fixture, rule, line",
+        [
+            ("df001_solo_wait.py", "DF001", 16),
+            ("df002_unbounded.py", "DF002", 16),
+            ("df003_blocking.py", "DF003", 11),
+            ("df004_leak.py", "DF004", 11),
+            ("df005_tight.py", "DF005", 11),
+            ("df006_starving.py", "DF006", 10),
+        ],
+    )
+    def test_rule_fires_at_seeded_line(self, fixture, rule, line):
+        result = lint_fixture(fixture)
+        active = result.active(strict=True)
+        assert [f.rule_id for f in active] == [rule]
+        assert active[0].lineno == line
+        assert active[0].path.endswith(fixture)
+
+    def test_clean_quorum_fixture_is_clean(self):
+        result = lint_fixture("clean_quorum.py")
+        assert result.findings == []
+        assert result.exit_code(strict=True) == EXIT_CLEAN
+
+
+class TestGoldenJson:
+    def test_json_output_matches_golden(self, monkeypatch, capsys):
+        monkeypatch.chdir(FIXTURES)
+        code = cli_main(["lint", "lint", "--format", "json", "--strict"])
+        payload = json.loads(capsys.readouterr().out)
+        golden = json.loads((FIXTURES / "expected_lint.json").read_text())
+        assert payload == golden
+        assert code == EXIT_FINDINGS
+        assert payload["summary"]["errors"] == 4
+        assert payload["summary"]["warnings"] == 2
+
+
+class TestRepoIsLintClean:
+    def test_src_repro_strict_clean(self):
+        result = run_lint([str(SRC)])
+        assert result.active(strict=True) == []
+        assert result.exit_code(strict=True) == EXIT_CLEAN
+        # The deliberate violations (chain head->tail, 2PC all-shards) are
+        # suppressed with justifications, not silently absent.
+        suppressed = {f.rule_id for f in result.findings if f.suppressed}
+        assert "DF001" in suppressed
+        assert "DF005" in suppressed
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_line(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            from repro.events.basic import Event
+
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def go(self):
+                    ack = Event(name="a", source="s2")
+                    yield ack.wait(timeout_ms=5.0)  # depfast: allow(DF001)
+            """,
+        )
+        from repro.analysis.rules import run_rules
+
+        findings = run_rules([scan])
+        assert [f.rule_id for f in findings] == ["DF001"]
+        assert findings[0].suppressed
+
+    def test_comment_block_suppresses_next_code_line(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            from repro.events.basic import Event
+
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def go(self):
+                    ack = Event(name="a", source="s2")
+                    # depfast: allow(DF001) — justification line one,
+                    # which continues onto a second comment line.
+                    yield ack.wait(timeout_ms=5.0)
+            """,
+        )
+        from repro.analysis.rules import run_rules
+
+        findings = run_rules([scan])
+        assert [f.rule_id for f in findings] == ["DF001"]
+        assert findings[0].suppressed
+
+    def test_allow_file_suppresses_everywhere(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            # depfast: allow-file(DF001, DF002)
+            from repro.events.basic import Event
+
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def go(self):
+                    ack = Event(name="a", source="s2")
+                    yield ack.wait()
+            """,
+        )
+        from repro.analysis.rules import run_rules
+
+        findings = run_rules([scan])
+        assert {f.rule_id for f in findings} == {"DF001", "DF002"}
+        assert all(f.suppressed for f in findings)
+
+    def test_def_line_allow_covers_whole_function(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            from repro.events.basic import Event
+
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def go(self):  # depfast: allow(DF001)
+                    ack = Event(name="a", source="s2")
+                    other = Event(name="b", source="s3")
+                    yield ack.wait(timeout_ms=5.0)
+                    yield other.wait(timeout_ms=5.0)
+            """,
+        )
+        from repro.analysis.rules import run_rules
+
+        findings = [f for f in run_rules([scan]) if f.rule_id == "DF001"]
+        assert len(findings) == 2
+        assert all(f.suppressed for f in findings)
+
+
+class TestScannerResolution:
+    def test_dedicated_spawn_exempts_repair_style_loop(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            from repro.events.basic import Event
+
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def start(self, peer):
+                    self.rt.spawn(self._repair(peer), dedication=peer)
+
+                def _repair(self, peer):
+                    rpc = self.ep.call(peer, "fix", {}, size_bytes=1)
+                    yield rpc.wait(timeout_ms=10.0)
+            """,
+        )
+        from repro.analysis.rules import run_rules
+
+        assert [f for f in run_rules([scan]) if f.rule_id == "DF001"] == []
+        func = scan.by_name["_repair"]
+        assert func.dedicated
+        assert func.wait_sites[0].shape.remote
+
+    def test_helper_return_shape_propagates(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def go(self, peer):
+                    rpc = self._send(peer)
+                    yield rpc.wait(timeout_ms=10.0)
+
+                def _send(self, peer):
+                    return self.ep.call(peer, "m", {}, size_bytes=1)
+            """,
+        )
+        site = scan.by_name["go"].wait_sites[0]
+        assert site.shape.kind == "rpc"
+        assert site.shape.remote
+
+    def test_unresolved_yields_never_flagged(self, tmp_path):
+        scan = write_module(
+            tmp_path,
+            """
+            class R:
+                def __init__(self, node_id, group):
+                    if node_id not in group:
+                        raise ValueError(node_id)
+
+                def go(self):
+                    yield self.mystery()
+            """,
+        )
+        from repro.analysis.rules import run_rules
+
+        assert run_rules([scan]) == []
+        assert scan.by_name["go"].wait_sites == []
+
+
+class TestCliLint:
+    def test_usage_error_exit_code(self, capsys):
+        assert lint_main(["no/such/path.py"]) == EXIT_USAGE
+        assert "error" in capsys.readouterr().out
+
+    def test_text_format_summary_line(self, capsys):
+        code = cli_main(["lint", str(FIXTURES / "lint" / "clean_quorum.py")])
+        out = capsys.readouterr().out
+        assert code == EXIT_CLEAN
+        assert "depfast-lint: 1 files, 0 errors, 0 warnings" in out
+
+    def test_default_vs_strict_exit(self):
+        # df005 is warning severity: clean by default, findings under strict.
+        path = str(FIXTURES / "lint" / "df005_tight.py")
+        result = run_lint([path])
+        assert result.exit_code(strict=False) == EXIT_CLEAN
+        assert result.exit_code(strict=True) == EXIT_FINDINGS
+
+    def test_help_lists_lint_and_chaos(self, capsys):
+        with pytest.raises(SystemExit):
+            cli_main(["--help"])
+        out = capsys.readouterr().out
+        assert "lint" in out and "static fail-slow tolerance analysis" in out
+        assert "chaos" in out and "chaos campaign" in out
+
+
+def _record(node, kind, edges, dedication=None):
+    return WaitRecord(
+        coro_name="c",
+        node=node,
+        event_kind=kind,
+        event_name="e",
+        edges=edges,
+        started_at=0.0,
+        ended_at=1.0,
+        timed_out=False,
+        dedication=dedication,
+    )
+
+
+class TestStaticSpgAndDiff:
+    GROUPS = [["s1", "s2", "s3"]]
+
+    def _static(self):
+        scans = [
+            scan_module(str(SRC / "raft" / "node.py")),
+            scan_module(str(SRC / "workload" / "driver.py")),
+        ]
+        return build_static_spg(scans)
+
+    def test_raft_static_spg_has_group_green_edges(self):
+        static = self._static()
+        assert static.matching("green", "group")
+        # The repair loop's per-peer rpc wait is a dedicated red edge.
+        dedicated_reds = [
+            e for e in static.matching("red", "group") if e.dedicated
+        ]
+        assert dedicated_reds
+
+    def test_quorum_wait_is_predicted(self):
+        static = self._static()
+        records = [_record("s1", "quorum", [("s2", 2, 3), ("s3", 2, 3)])]
+        diff = diff_spg(static, records, self.GROUPS)
+        assert diff.coverage == 1.0
+        assert not diff.runtime_only
+
+    def test_client_boundary_wait_is_predicted(self):
+        static = self._static()
+        records = [_record("c1", "rpc", [("s1", 1, 1)])]
+        diff = diff_spg(static, records, self.GROUPS)
+        assert diff.coverage == 1.0
+
+    def test_unpredicted_edge_is_runtime_only(self):
+        # A non-dedicated red group edge: raft has no such (non-suppressed)
+        # wait site, so the diff must report it as a miss.
+        static = self._static()
+        records = [_record("s1", "rpc", [("s2", 1, 1)])]
+        diff = diff_spg(static, records, self.GROUPS)
+        assert diff.coverage == 0.0
+        assert len(diff.runtime_only) == 1
+        assert "MISS" in diff.render()
+
+    def test_dedicated_runtime_wait_matches_dedicated_site(self):
+        static = self._static()
+        records = [_record("s1", "rpc", [("s2", 1, 1)], dedication="s2")]
+        diff = diff_spg(static, records, self.GROUPS)
+        assert diff.coverage == 1.0
+
+    def test_render_text_mentions_counts(self):
+        result = run_lint([str(FIXTURES / "lint" / "df001_solo_wait.py")])
+        text = render_text(result)
+        assert "DF001" in text
+        assert "1 errors" in text

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.events.basic import RpcEvent, ValueEvent
-from repro.events.compound import QuorumEvent
+from repro.events.compound import AndEvent, OrEvent, QuorumEvent
 from repro.runtime.runtime import Runtime
 from repro.sim.kernel import Kernel
 from repro.sim.resources import CpuResource
@@ -142,6 +142,40 @@ class TestSpg:
         assert "c1 -> s1" in text
         assert "!" in text
 
+    def test_tight_quorum_edge_is_red(self):
+        # k == n: nominally a quorum, but every member is on the critical
+        # path — the edge must not inherit green from the event kind.
+        records = [record("s1", "quorum", [("s2", 3, 3), ("s3", 3, 3)])]
+        graph = build_spg(records)
+        assert graph.edges[("s1", "s2")]["color"] == "red"
+        assert graph.edges[("s1", "s3")]["color"] == "red"
+
+    def test_nested_compound_colors_per_grandchild(self):
+        # AndEvent(QuorumEvent(2 of 3), OrEvent(rpc to s5)): the quorum's
+        # grandchild edges keep their k<n slack (green), while the Or's
+        # only branch pins s5 to the critical path (red) — one record,
+        # mixed edge colors.
+        quorum = QuorumEvent(quorum=2, n_total=3, name="repl")
+        for i in (2, 3, 4):
+            quorum.add(RpcEvent("ae", to_node=f"s{i}"))
+        fallback = OrEvent(RpcEvent("probe", to_node="s5"))
+        combined = AndEvent(quorum, fallback)
+        graph = build_spg([record("s1", "and", combined.wait_edges())])
+        for peer in ("s2", "s3", "s4"):
+            assert graph.edges[("s1", peer)]["color"] == "green"
+        assert graph.edges[("s1", "s5")]["color"] == "red"
+
+    def test_or_branches_sharing_a_source_get_no_slack(self):
+        # Every Or-branch needs s2, so picking "the other branch" cannot
+        # route around s2: its edges must not get the 1-of-n discount.
+        shared = OrEvent(
+            ValueEvent(name="ack", source="s2"), RpcEvent("probe", to_node="s2")
+        )
+        edges = shared.wait_edges()
+        assert edges == [("s2", 1, 1), ("s2", 1, 1)]
+        graph = build_spg([record("s1", "or", edges)])
+        assert graph.edges[("s1", "s2")]["color"] == "red"
+
 
 class TestToleranceChecker:
     GROUPS = [["s1", "s2", "s3"]]
@@ -175,6 +209,59 @@ class TestToleranceChecker:
     def test_node_in_two_groups_rejected(self):
         with pytest.raises(ValueError):
             check_fail_slow_tolerance([], [["s1"], ["s1"]])
+
+    def test_dedicated_wait_on_own_peer_is_exempt(self):
+        # A per-peer repair stream waiting on its peer: the slowness it
+        # absorbs affects only work done on that peer's behalf.
+        rec = record("s1", "rpc", [("s2", 1, 1)])
+        rec.dedication = "s2"
+        report = check_fail_slow_tolerance([rec], self.GROUPS)
+        assert report.tolerant
+        assert report.dedicated_waits == 1
+        assert "1 dedicated-stream waits" in report.summary()
+
+    def test_dedication_does_not_exempt_other_sources(self):
+        # Dedicated to s3, but waiting on s2: not this stream's peer, so
+        # the wait is checked (and fails) like any other solo wait.
+        rec = record("s1", "rpc", [("s2", 1, 1)])
+        rec.dedication = "s3"
+        report = check_fail_slow_tolerance([rec], self.GROUPS)
+        assert not report.tolerant
+        assert report.dedicated_waits == 0
+
+    def test_cross_group_node_wait_reported_not_violated(self):
+        # Two replica groups: a wait from one into the other is a boundary
+        # wait (reported), not a violation — same rule as client→leader.
+        groups = [["s1", "s2", "s3"], ["t1", "t2", "t3"]]
+        records = [record("s1", "rpc", [("t1", 1, 1)])]
+        report = check_fail_slow_tolerance(records, groups)
+        assert report.tolerant
+        assert report.boundary_waits == [("s1", "t1")]
+        assert report.checked_waits == 1
+
+    def test_quorum_k_boundaries(self):
+        # k = n-1 is the largest quorum that still tolerates one slow
+        # member; k = n tolerates none and violates.
+        ok = record("s1", "quorum", [("s2", 2, 3), ("s3", 2, 3)])
+        tight = record("s1", "quorum", [("s2", 3, 3), ("s3", 3, 3)])
+        assert check_fail_slow_tolerance([ok], self.GROUPS).tolerant
+        report = check_fail_slow_tolerance([tight], self.GROUPS)
+        assert len(report.violations) == 2
+        assert "requires all members" in report.violations[0].reason
+
+    def test_compound_kinds_keep_nested_slack(self):
+        # And/Or records carry their grandchildren's k/n: slack passes,
+        # k == n does not.
+        assert check_fail_slow_tolerance(
+            [record("s1", "and", [("s2", 2, 3)])], self.GROUPS
+        ).tolerant
+        assert not check_fail_slow_tolerance(
+            [record("s1", "or", [("s2", 1, 1)])], self.GROUPS
+        ).tolerant
+
+    def test_minimal_quorum_k1_n2(self):
+        records = [record("s1", "quorum", [("s2", 1, 2), ("s3", 1, 2)])]
+        assert check_fail_slow_tolerance(records, self.GROUPS).tolerant
 
 
 class TestAnalysis:
