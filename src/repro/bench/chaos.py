@@ -26,7 +26,7 @@ with ``python -m repro chaos --seed N``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.cluster import Cluster
 from repro.faults.chaos import Nemesis
@@ -109,10 +109,21 @@ class ChaosRunResult:
         return self.chaos_throughput_ops_s / self.healthy_throughput_ops_s
 
 
-def run_chaos_once(seed: int, params: Optional[ChaosParams] = None) -> ChaosRunResult:
-    """One seeded chaos run; deterministic end to end."""
+def run_chaos_once(
+    seed: int,
+    params: Optional[ChaosParams] = None,
+    on_cluster: Optional[Callable[[Cluster], None]] = None,
+) -> ChaosRunResult:
+    """One seeded chaos run; deterministic end to end.
+
+    ``on_cluster`` is called with the freshly-built cluster before any
+    node is deployed — the determinism harness uses it to install
+    observation probes without perturbing the run.
+    """
     params = params or ChaosParams()
     cluster = Cluster(seed=seed)
+    if on_cluster is not None:
+        on_cluster(cluster)
     group = [f"s{i + 1}" for i in range(params.group_size)]
     raft = deploy_depfast_raft(cluster, group, config=params.config(group))
     history = HistoryRecorder()

@@ -1,0 +1,170 @@
+"""Virtual-time profiler: how fast does the simulator simulate?
+
+Two measurements, both over real (wall-clock) time:
+
+* :func:`profile_scenario` runs one of the seeded determinism scenarios
+  (3-node Raft / Multi-Paxos / chain / chaos — the same runs whose traces
+  are golden-pinned) with the kernel's per-module event counter enabled,
+  and reports executed events per wall-second, the virtual-to-wall speed
+  ratio, and where the events went per subsystem;
+* :func:`microbench_events_per_sec` times the kernel hot loop alone
+  (schedule + run over a spread of due-times, same shape as
+  ``benchmarks/bench_core_microbench.py::test_kernel_schedule_and_run``)
+  — the number tracked in ``benchmarks/results/BENCH_kernel.json`` and
+  guarded by the CI smoke gate (:func:`check_baseline`).
+
+CLI: ``python -m repro profile <scenario>`` (see ``repro.cli``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.bench.determinism import DEFAULT_SEED, SCENARIOS, TraceDigest, run_traced
+from repro.sim.kernel import Kernel
+
+BASELINE_PATH = (
+    pathlib.Path(__file__).resolve().parents[3]
+    / "benchmarks"
+    / "results"
+    / "BENCH_kernel.json"
+)
+
+# CI smoke gate: fail when the microbench drops below this fraction of the
+# committed baseline. Generous because shared CI runners are noisy.
+REGRESSION_FLOOR = 0.8
+
+
+@dataclass
+class ProfileReport:
+    """Wall-clock cost of one seeded scenario run."""
+
+    scenario: str
+    seed: int
+    wall_seconds: float
+    events_executed: int
+    events_per_sec: float
+    virtual_ms: float
+    # Virtual milliseconds simulated per wall millisecond (>1 = faster
+    # than real time).
+    speedup_vs_realtime: float
+    subsystem_counts: Dict[str, int] = field(default_factory=dict)
+    digest: Optional[TraceDigest] = None
+
+
+def _subsystem(module: str) -> str:
+    """Collapse ``repro.net.network`` → ``repro.net`` for the report."""
+    parts = module.split(".")
+    return ".".join(parts[:2]) if len(parts) > 1 else module
+
+
+def profile_scenario(scenario: str, seed: int = DEFAULT_SEED) -> ProfileReport:
+    """Run one determinism scenario with kernel profiling enabled."""
+    captured = {}
+
+    def on_cluster(cluster) -> None:
+        cluster.kernel.enable_profile()
+        captured["kernel"] = cluster.kernel
+
+    start = time.perf_counter()
+    digest = run_traced(scenario, seed=seed, on_cluster=on_cluster)
+    wall = time.perf_counter() - start
+
+    kernel: Kernel = captured["kernel"]
+    subsystems: Dict[str, int] = {}
+    for module, count in kernel.profile_counts().items():
+        key = _subsystem(module)
+        subsystems[key] = subsystems.get(key, 0) + count
+    return ProfileReport(
+        scenario=scenario,
+        seed=seed,
+        wall_seconds=wall,
+        events_executed=kernel.events_executed,
+        events_per_sec=kernel.events_executed / wall if wall > 0 else 0.0,
+        virtual_ms=kernel.now,
+        speedup_vs_realtime=(kernel.now / (wall * 1000.0)) if wall > 0 else 0.0,
+        subsystem_counts=subsystems,
+        digest=digest,
+    )
+
+
+def render_profile(report: ProfileReport) -> str:
+    lines = [
+        f"scenario {report.scenario} (seed {report.seed})",
+        f"  wall time        {report.wall_seconds * 1000.0:,.0f} ms",
+        f"  virtual time     {report.virtual_ms:,.0f} ms "
+        f"({report.speedup_vs_realtime:,.1f}x real time)",
+        f"  events executed  {report.events_executed:,}",
+        f"  events/sec       {report.events_per_sec:,.0f}",
+        "  per-subsystem event counts:",
+    ]
+    total = max(1, report.events_executed)
+    ranked = sorted(report.subsystem_counts.items(), key=lambda kv: -kv[1])
+    for subsystem, count in ranked:
+        lines.append(f"    {subsystem:<24} {count:>10,}  ({100.0 * count / total:.1f}%)")
+    return "\n".join(lines)
+
+
+def microbench_events_per_sec(
+    n_events: int = 20_000, repeats: int = 5
+) -> float:
+    """Kernel hot-loop throughput: schedule + drain ``n_events`` callbacks.
+
+    Same event shape as the pytest-benchmark microbench (due-times spread
+    over 97 distinct values so both the heap and the same-time batch paths
+    are exercised); best of ``repeats`` to shed scheduler noise.
+    """
+    nop = _nop
+    best = float("inf")
+    for _ in range(repeats):
+        kernel = Kernel()
+        schedule = kernel.schedule
+        start = time.perf_counter()
+        for i in range(n_events):
+            schedule(float(i % 97), nop)
+        kernel.run_until_idle()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return n_events / best
+
+
+def _nop() -> None:
+    return None
+
+
+def check_baseline(
+    baseline_path: pathlib.Path = BASELINE_PATH,
+    floor: float = REGRESSION_FLOOR,
+) -> int:
+    """CI smoke gate: compare the live microbench to the committed number.
+
+    Returns a process exit code; prints its verdict. The bar is the
+    file's ``gate_events_per_sec`` (set below dev-box numbers to absorb
+    CI-runner variance); absent that, the newest trajectory entry.
+    """
+    trajectory = json.loads(pathlib.Path(baseline_path).read_text())
+    baseline = trajectory.get(
+        "gate_events_per_sec", trajectory["entries"][-1]["kernel_events_per_sec"]
+    )
+    measured = microbench_events_per_sec()
+    ratio = measured / baseline
+    verdict = "ok" if ratio >= floor else "REGRESSION"
+    print(
+        f"kernel microbench: {measured:,.0f} events/sec "
+        f"(baseline {baseline:,.0f}, ratio {ratio:.2f}, floor {floor:.2f}) {verdict}"
+    )
+    return 0 if ratio >= floor else 1
+
+
+__all__ = [
+    "ProfileReport",
+    "profile_scenario",
+    "render_profile",
+    "microbench_events_per_sec",
+    "check_baseline",
+    "SCENARIOS",
+]

@@ -9,6 +9,7 @@ Usage::
     python -m repro experiment --system depfast --fault cpu_slow
     python -m repro chaos [--seed N] [--seeds 20] [--group-sizes 3 5]
     python -m repro lint [paths] [--format text|json] [--strict]
+    python -m repro profile <raft|paxos|chain|chaos|microbench> [--seed N]
 
 ``--smoke`` runs a shortened profile (shapes, not magnitudes); the default
 is the full paper profile used by EXPERIMENTS.md. ``lint`` runs the static
@@ -99,6 +100,20 @@ def _cmd_chaos(args) -> int:
     return 0 if campaign.ok else 1
 
 
+def _cmd_profile(args) -> int:
+    from repro.bench import profile as prof
+
+    if args.scenario == "microbench":
+        if args.check_baseline:
+            return prof.check_baseline(args.check_baseline)
+        rate = prof.microbench_events_per_sec()
+        print(f"kernel microbench: {rate:,.0f} events/sec")
+        return 0
+    report = prof.profile_scenario(args.scenario, seed=args.seed)
+    print(prof.render_profile(report))
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import main as lint_main
 
@@ -156,6 +171,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--verbose", action="store_true", help="print nemesis logs")
     chaos.set_defaults(func=_cmd_chaos)
+
+    prof = sub.add_parser(
+        "profile", help="virtual-time profiler: events/wall-second per scenario"
+    )
+    prof.add_argument(
+        "scenario",
+        choices=("raft", "paxos", "chain", "chaos", "microbench"),
+        help="seeded scenario to profile, or the bare kernel microbench",
+    )
+    prof.add_argument("--seed", type=int, default=42)
+    prof.add_argument(
+        "--check-baseline",
+        metavar="BENCH_JSON",
+        default=None,
+        help="(microbench only) fail if events/sec regresses below "
+        "80%% of the committed BENCH_kernel.json baseline",
+    )
+    prof.set_defaults(func=_cmd_profile)
 
     lint = sub.add_parser(
         "lint", help="static fail-slow tolerance analysis (depfast-lint)"

@@ -71,6 +71,19 @@ class Event:
 
     kind = "event"
 
+    # Events are the most-allocated objects in a run (one per RPC, timer,
+    # disk op, inbox receive); slots keep them dict-free. Subclasses must
+    # declare their own __slots__ (possibly empty) to stay that way.
+    __slots__ = (
+        "name",
+        "source",
+        "timed_out",
+        "_triggered",
+        "_waiters",
+        "_parents",
+        "triggered_at",
+    )
+
     def __init__(self, name: str = "", source: Optional[str] = None):
         self.name = name
         self.source = source

@@ -21,6 +21,8 @@ class TimerEvent(Event):
 
     kind = "timer"
 
+    __slots__ = ("delay_ms", "_call", "_kernel")
+
     def __init__(self, kernel: Kernel, delay_ms: float, name: str = "timer"):
         super().__init__(name=name)
         if delay_ms < 0:
@@ -46,6 +48,8 @@ class ValueEvent(Event):
 
     kind = "value"
 
+    __slots__ = ("value",)
+
     def __init__(self, name: str = "value", source: Optional[str] = None):
         super().__init__(name=name, source=source)
         self.value: Any = None
@@ -66,6 +70,8 @@ class SharedIntEvent(Event):
     """
 
     kind = "shared_int"
+
+    __slots__ = ("value", "_predicate")
 
     def __init__(
         self,
@@ -104,6 +110,8 @@ class RpcEvent(Event):
 
     kind = "rpc"
 
+    __slots__ = ("method", "to_node", "reply", "error", "issued_at", "cancel_send")
+
     def __init__(self, method: str, to_node: str, name: str = ""):
         super().__init__(name=name or f"rpc:{method}->{to_node}", source=to_node)
         self.method = method
@@ -140,6 +148,8 @@ class DiskEvent(Event):
 
     kind = "disk"
 
+    __slots__ = ("op", "n_bytes", "_job")
+
     def __init__(
         self,
         disk: DiskResource,
@@ -172,6 +182,8 @@ class CpuEvent(Event):
 
     kind = "cpu"
 
+    __slots__ = ("cost_ms", "_job")
+
     def __init__(
         self,
         cpu: CpuResource,
@@ -195,6 +207,8 @@ class NeverEvent(Event):
     """An event that never triggers on its own — timeouts and tests."""
 
     kind = "never"
+
+    __slots__ = ()
 
     def __init__(self, name: str = "never"):
         super().__init__(name=name)

@@ -27,6 +27,8 @@ class CompoundEvent(Event):
 
     kind = "compound"
 
+    __slots__ = ("children",)
+
     def __init__(self, name: str = ""):
         super().__init__(name=name)
         self.children: List[Event] = []
@@ -76,6 +78,8 @@ class AndEvent(CompoundEvent):
 
     kind = "and"
 
+    __slots__ = ()
+
     def __init__(self, *children: Event, name: str = "and"):
         super().__init__(name=name)
         for child in children:
@@ -99,6 +103,8 @@ class OrEvent(CompoundEvent):
     """
 
     kind = "or"
+
+    __slots__ = ()
 
     def __init__(self, *children: Event, name: str = "or"):
         super().__init__(name=name)
@@ -149,6 +155,16 @@ class QuorumEvent(CompoundEvent):
     """
 
     kind = "quorum"
+
+    __slots__ = (
+        "quorum",
+        "n_total",
+        "_classify",
+        "n_ok",
+        "n_reject",
+        "ok_children",
+        "reject_children",
+    )
 
     def __init__(
         self,

@@ -15,8 +15,14 @@ from typing import Callable, Deque, Optional, Tuple
 from repro.events.basic import ValueEvent
 from repro.net.message import Message
 
-# (message, ack) pairs: calling ack() releases the sender's window bytes.
-_Item = Tuple[Message, Callable[[], None]]
+# Sentinel: "call ack with no argument". Lets hot callers pass a shared
+# bound method plus the message (zero per-message closures) while the
+# original zero-arg ``ack=lambda: ...`` form keeps working.
+_NO_ARG = object()
+
+# (message, ack, ack_arg) triples: firing the ack releases the sender's
+# flow-control window bytes for this message.
+_Item = Tuple[Message, Callable[..., None], object]
 
 
 class Inbox:
@@ -31,15 +37,28 @@ class Inbox:
     def __len__(self) -> int:
         return len(self._queue)
 
-    def put(self, message: Message, ack: Callable[[], None]) -> None:
-        """Deliver a message (network side). Acks fire at consumption."""
+    def put(
+        self,
+        message: Message,
+        ack: Callable[..., None],
+        ack_arg: object = _NO_ARG,
+    ) -> None:
+        """Deliver a message (network side). Acks fire at consumption.
+
+        ``ack`` is called as ``ack(ack_arg)`` when an argument is given,
+        else as ``ack()`` — so the network passes one shared bound method
+        instead of allocating a closure per message.
+        """
         self.received += 1
         if self._waiter is not None:
             waiter, self._waiter = self._waiter, None
-            ack()
+            if ack_arg is _NO_ARG:
+                ack()
+            else:
+                ack(ack_arg)
             waiter.set(message)
         else:
-            self._queue.append((message, ack))
+            self._queue.append((message, ack, ack_arg))
 
     def get_event(self) -> ValueEvent:
         """Event carrying the next message; consume with ``(yield ev.wait()).event.value``.
@@ -50,8 +69,11 @@ class Inbox:
             raise RuntimeError(f"inbox {self.node!r} already has a pending get")
         event = ValueEvent(name=f"inbox:{self.node}", source=self.node)
         if self._queue:
-            message, ack = self._queue.popleft()
-            ack()
+            message, ack, ack_arg = self._queue.popleft()
+            if ack_arg is _NO_ARG:
+                ack()
+            else:
+                ack(ack_arg)
             event.set(message)
         else:
             self._waiter = event

@@ -33,11 +33,13 @@ class Link:
         self.bandwidth_mbps = bandwidth_mbps
         self.jitter_ms = jitter_ms
         self._rng = rng
+        # Serialization runs once per transmitted message; precompute the
+        # divisor (links are immutable after construction).
+        self._bytes_per_ms = bandwidth_mbps * 1000.0
 
     def transfer_ms(self, n_bytes: int) -> float:
         """Serialization time for ``n_bytes`` at link bandwidth."""
-        bytes_per_ms = self.bandwidth_mbps * 1000.0
-        return n_bytes / bytes_per_ms
+        return n_bytes / self._bytes_per_ms
 
     def propagation_ms(self) -> float:
         """One-way propagation delay, with jitter if configured."""

@@ -86,6 +86,17 @@ class Connection:
         # Messages transmitted before this time are stale (their TCP
         # connection was reset by a crash/restart) and drop on delivery.
         self.reset_since = -1.0
+        # One bound method reused for every flow-control ack instead of a
+        # fresh closure per message (the ack path is the hottest allocation
+        # site in the network layer).
+        self._release_cb = self._release
+        # Same-tick delivery batch: consecutive transmits that arrive at
+        # the *same* virtual time share one kernel event. `_batch_seq` is
+        # the kernel sequence number of that event; a merge is only legal
+        # while no other event has been scheduled since (see _transmit).
+        self._batch: Optional[list] = None
+        self._batch_time = -1.0
+        self._batch_seq = -1
         self.sent = 0
         self.delivered = 0
         self.discarded = 0
@@ -131,7 +142,34 @@ class Connection:
             + self.link.propagation_ms()
             + self.dst.nic.delay_ms()
         )
-        kernel.schedule_at(arrival, self._deliver, message)
+        # Merge into the pending delivery batch only when this message
+        # arrives at exactly the batch's time AND nothing has been
+        # scheduled since the batch's event: its unbatched sequence number
+        # would sit directly behind the batch event at the same timestamp,
+        # so executing it inside the batch preserves the exact global
+        # (time, seq) order. Any intervening schedule could order between
+        # them, so it invalidates the merge.
+        batch = self._batch
+        if (
+            batch is not None
+            and arrival == self._batch_time
+            and kernel._seq == self._batch_seq
+        ):
+            batch.append(message)
+            return
+        batch = [message]
+        self._batch = batch
+        self._batch_time = arrival
+        self._batch_seq = kernel.schedule_at(arrival, self._deliver_batch, batch).seq
+
+    def _deliver_batch(self, batch: list) -> None:
+        # The event owns its list; only clear the merge window if it is
+        # still ours (a later transmit may have opened a new batch).
+        if batch is self._batch:
+            self._batch = None
+        deliver = self._deliver
+        for message in batch:
+            deliver(message)
 
     def _deliver(self, message: Message) -> None:
         if self.dst.crashed or self.src.crashed:
@@ -149,9 +187,13 @@ class Connection:
             self.dropped += 1
             self._release(message)
             return
-        message.delivered_at = self.network.kernel.now
+        now = self.network.kernel.now
+        message.delivered_at = now
         self.delivered += 1
-        self.dst.inbox.put(message, ack=lambda: self._release(message))
+        probe = self.network.delivery_probe
+        if probe is not None:
+            probe(now, message)
+        self.dst.inbox.put(message, self._release_cb, message)
 
     def _release(self, message: Message) -> None:
         # max() guards against stale in-flight releases racing a restart's
@@ -180,6 +222,10 @@ class Connection:
         self.buffer.drain_all()
         self.reset_since = self.network.kernel.now
         self.in_flight = 0
+        # Close the merge window: post-reset transmits start a new batch.
+        # The already-scheduled batch event keeps its own list and its
+        # messages are dropped individually by the reset_since check.
+        self._batch = None
 
 
 class Network:
@@ -189,6 +235,7 @@ class Network:
         self.kernel = kernel
         self.default_link = default_link or Link()
         self.metrics = MetricsRegistry("net")
+        self._messages = self.metrics.counter("messages")
         self._endpoints: Dict[str, _Endpoint] = {}
         self._links: Dict[Tuple[str, str], Link] = {}
         self._connections: Dict[Tuple[str, str], Connection] = {}
@@ -198,6 +245,11 @@ class Network:
         self._blocked: Set[Tuple[str, str]] = set()
         self._loss_rates: Dict[Tuple[str, str], float] = {}
         self._loss_rng: Optional[random.Random] = None
+        # Optional observation hook: called as probe(now, message) for every
+        # successful delivery. Pure observation — installing it must not (and
+        # does not) perturb a single virtual-time timestamp. The determinism
+        # harness (repro.bench.determinism) hashes this stream.
+        self.delivery_probe: Optional[Callable[[float, Message], None]] = None
 
     # ------------------------------------------------------------------
     # Topology
@@ -240,7 +292,7 @@ class Network:
     def send(self, message: Message) -> None:
         """Send a message along the (src, dst) connection."""
         connection = self.connection(message.src, message.dst)
-        self.metrics.counter("messages").inc()
+        self._messages.value += 1
         connection.send(message)
 
     def connection(self, src: str, dst: str) -> Connection:

@@ -14,6 +14,7 @@ messages for slow connections once the quorum is in.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 from repro.events.basic import RpcEvent
@@ -91,7 +92,7 @@ class RpcEndpoint:
         event.issued_at = self.runtime.now
         self._pending[message.msg_id] = event
         connection = self.network.connection(self.node, target)
-        event.cancel_send = lambda: connection.discard(message.msg_id)
+        event.cancel_send = partial(connection.discard, message.msg_id)
         try:
             connection.send(message)
         except BufferOverflowError as exc:

@@ -79,19 +79,42 @@ class LatencyRecorder:
     Samples are (completion_time, latency) pairs; :meth:`summary` restricts
     to completions inside [window_start, window_end] so that only
     steady-state operations are reported.
+
+    Recording is O(1): exact count/sum/min/max are maintained as running
+    aggregates on every call. ``sample_stride=n`` keeps only every n-th
+    raw sample (deterministically — no RNG involved), bounding memory for
+    long runs; count/mean/min/max stay exact over *all* recorded samples,
+    while percentiles (and any explicitly windowed statistics) are then
+    computed over the retained subsample. The default stride of 1 retains
+    everything and is bit-for-bit identical to the pre-sampling recorder.
     """
 
-    def __init__(self, name: str = ""):
+    def __init__(self, name: str = "", sample_stride: int = 1):
+        if sample_stride < 1:
+            raise ValueError(f"sample_stride must be >= 1, got {sample_stride}")
         self.name = name
+        self.sample_stride = sample_stride
         self._samples: List[Tuple[float, float]] = []
+        self._n = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
 
     def record(self, completed_at: float, latency_ms: float) -> None:
         if latency_ms < 0:
             raise ValueError(f"negative latency {latency_ms}")
-        self._samples.append((completed_at, latency_ms))
+        self._n += 1
+        self._sum += latency_ms
+        if latency_ms < self._min:
+            self._min = latency_ms
+        if latency_ms > self._max:
+            self._max = latency_ms
+        if self.sample_stride == 1 or self._n % self.sample_stride == 1:
+            self._samples.append((completed_at, latency_ms))
 
     def count(self) -> int:
-        return len(self._samples)
+        """Exact number of recorded samples (including ones not retained)."""
+        return self._n
 
     def in_window(
         self, window_start: float = 0.0, window_end: float = math.inf
@@ -124,16 +147,27 @@ class LatencyRecorder:
             rank = max(1, math.ceil(p / 100.0 * len(ordered)))
             return ordered[rank - 1]
 
-        # Clamp the mean into [min, max]: naive summation can land 1 ulp
-        # outside the sample range (e.g. three identical samples).
-        mean = min(max(math.fsum(ordered) / len(ordered), ordered[0]), ordered[-1])
+        stride = self.sample_stride
+        full_window = window_start <= 0.0 and window_end == math.inf
+        if stride > 1 and full_window:
+            # Exact aggregates over everything recorded; only the
+            # percentiles come from the retained subsample.
+            count = self._n
+            minimum, maximum = self._min, self._max
+            mean = min(max(self._sum / self._n, minimum), maximum)
+        else:
+            count = len(ordered) if stride == 1 else len(ordered) * stride
+            minimum, maximum = ordered[0], ordered[-1]
+            # Clamp the mean into [min, max]: naive summation can land 1 ulp
+            # outside the sample range (e.g. three identical samples).
+            mean = min(max(math.fsum(ordered) / len(ordered), minimum), maximum)
         return LatencySummary(
-            count=len(ordered),
+            count=count,
             mean=mean,
             p50=pct(50),
             p99=pct(99),
-            minimum=ordered[0],
-            maximum=ordered[-1],
+            minimum=minimum,
+            maximum=maximum,
         )
 
 
@@ -160,13 +194,27 @@ class LatencySummary:
 
 
 class MetricsRegistry:
-    """Namespaced metric store; one per node plus one per experiment."""
+    """Namespaced metric store; one per node plus one per experiment.
 
-    def __init__(self, prefix: str = ""):
+    ``latency_stride`` sets the default :class:`LatencyRecorder` sampling
+    stride for recorders created by this registry (1 = keep every raw
+    sample, the exact-percentile default the paper artifacts use).
+    """
+
+    def __init__(self, prefix: str = "", latency_stride: int = 1):
         self.prefix = prefix
+        self.latency_stride = latency_stride
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._latencies: Dict[str, LatencyRecorder] = {}
+
+    def set_latency_stride(self, stride: int) -> None:
+        """Change the sampling stride for existing and future recorders."""
+        if stride < 1:
+            raise ValueError(f"sample_stride must be >= 1, got {stride}")
+        self.latency_stride = stride
+        for recorder in self._latencies.values():
+            recorder.sample_stride = stride
 
     def counter(self, name: str) -> Counter:
         if name not in self._counters:
@@ -180,7 +228,9 @@ class MetricsRegistry:
 
     def latency(self, name: str) -> LatencyRecorder:
         if name not in self._latencies:
-            self._latencies[name] = LatencyRecorder(self._qualify(name))
+            self._latencies[name] = LatencyRecorder(
+                self._qualify(name), sample_stride=self.latency_stride
+            )
         return self._latencies[name]
 
     def snapshot(self) -> Dict[str, float]:

@@ -81,6 +81,7 @@ class TestBaselineCorrectness:
 
 
 class TestMongoLikePathology:
+    @pytest.mark.slow
     def test_healthy_checkpoints_do_not_stall(self):
         cluster, nodes = deploy(MongoLikeRsm)
         drive(cluster, until=4000.0)
@@ -107,11 +108,13 @@ class TestMongoLikePathology:
 
 
 class TestTidbLikePathology:
+    @pytest.mark.slow
     def test_healthy_run_has_no_blocking_reads(self):
         cluster, nodes = deploy(TidbLikeRsm)
         drive(cluster, until=4000.0)
         assert nodes["s1"].blocking_reads == 0
 
+    @pytest.mark.slow
     def test_slow_follower_forces_blocking_reads(self):
         cluster, nodes = deploy(TidbLikeRsm)
         FaultInjector(cluster).inject("s3", "cpu_slow")
@@ -133,6 +136,7 @@ class TestTidbLikePathology:
 
 
 class TestRethinkLikePathology:
+    @pytest.mark.slow
     def test_slow_follower_grows_unbounded_buffer(self):
         cluster, nodes = deploy(RethinkLikeRsm)
         FaultInjector(cluster).inject("s3", "cpu_slow")
@@ -140,6 +144,7 @@ class TestRethinkLikePathology:
         leader = nodes["s1"]
         assert leader.leader_backlog_bytes() > 5 * 1024 * 1024
 
+    @pytest.mark.slow
     def test_cpu_slow_follower_ooms_the_leader(self):
         cluster, nodes = deploy(RethinkLikeRsm)
         FaultInjector(cluster).inject("s3", "cpu_slow")
@@ -154,6 +159,7 @@ class TestRethinkLikePathology:
         drive(cluster, n_clients=48, until=10_000.0)
         assert not any(rsm.node.crashed for rsm in nodes.values())
 
+    @pytest.mark.slow
     def test_status_sync_stalls_under_network_slow_follower(self):
         cluster, nodes = deploy(RethinkLikeRsm)
         FaultInjector(cluster).inject("s3", "network_slow")

@@ -141,6 +141,7 @@ class TestTable1Harness:
 
 
 class TestSmokeExperiment:
+    @pytest.mark.slow
     def test_depfast_smoke_run_produces_throughput(self):
         params = ExperimentParams().scaled_for_smoke()
         report = run_rsm_experiment("depfast", "none", params)

@@ -1,0 +1,76 @@
+"""Tests for the virtual-time profiler and the bench regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.profile import (
+    check_baseline,
+    microbench_events_per_sec,
+    profile_scenario,
+    render_profile,
+)
+from repro.cli import main as cli_main
+
+
+def test_microbench_measures_positive_rate():
+    rate = microbench_events_per_sec(n_events=2_000, repeats=2)
+    assert rate > 0
+
+
+class TestBaselineGate:
+    def _write(self, tmp_path, gate):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "gate_events_per_sec": gate,
+                    "entries": [{"kernel_events_per_sec": gate}],
+                }
+            )
+        )
+        return path
+
+    def test_passes_against_tiny_baseline(self, tmp_path, capsys):
+        path = self._write(tmp_path, gate=1.0)
+        assert check_baseline(path) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_fails_against_impossible_baseline(self, tmp_path, capsys):
+        path = self._write(tmp_path, gate=1e15)
+        assert check_baseline(path) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_falls_back_to_newest_entry(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(
+            json.dumps({"entries": [{"kernel_events_per_sec": 1e15}]})
+        )
+        assert check_baseline(path) == 1
+
+    def test_committed_baseline_is_loadable(self):
+        from repro.bench.profile import BASELINE_PATH
+
+        trajectory = json.loads(BASELINE_PATH.read_text())
+        assert trajectory["gate_events_per_sec"] > 0
+        assert len(trajectory["entries"]) >= 2
+
+
+@pytest.mark.slow
+def test_profile_scenario_reports_subsystems():
+    report = profile_scenario("chain")
+    assert report.events_executed > 0
+    assert report.events_per_sec > 0
+    assert report.virtual_ms == pytest.approx(3_000.0)
+    # The big three substrate layers all execute kernel events.
+    assert {"repro.runtime", "repro.sim", "repro.net"} <= set(
+        report.subsystem_counts
+    )
+    assert sum(report.subsystem_counts.values()) == report.events_executed
+    text = render_profile(report)
+    assert "events/sec" in text and "repro.net" in text
+
+
+def test_cli_profile_microbench(capsys):
+    assert cli_main(["profile", "microbench"]) == 0
+    assert "events/sec" in capsys.readouterr().out

@@ -113,6 +113,7 @@ class TestChaosRuns:
         assert run.double_applies == 0
         assert run.completed_ops > 100
 
+    @pytest.mark.slow
     def test_same_seed_reruns_bit_identical(self):
         a = run_chaos_once(1, QUICK)
         b = run_chaos_once(1, QUICK)
@@ -120,6 +121,7 @@ class TestChaosRuns:
         assert a.nemesis_log == b.nemesis_log
         assert a.completed_ops == b.completed_ops
 
+    @pytest.mark.slow
     def test_different_seeds_chart_different_chaos(self):
         a = run_chaos_once(2, QUICK)
         b = run_chaos_once(3, QUICK)

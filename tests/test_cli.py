@@ -32,6 +32,7 @@ class TestCommands:
         assert "cpu_slow" in out
         assert "20.0x" in out
 
+    @pytest.mark.slow
     def test_experiment_smoke_run(self, capsys):
         code = main(
             ["experiment", "--system", "depfast", "--fault", "network_slow", "--smoke"]

@@ -30,6 +30,7 @@ def deploy_with_detectors(seed=19, detector_config=None):
 
 
 class TestDetection:
+    @pytest.mark.slow
     def test_healthy_leader_never_suspected(self):
         cluster, raft, detectors, driver = deploy_with_detectors()
         cluster.run(until_ms=8000.0)
@@ -61,6 +62,7 @@ class TestDetection:
         # tolerates: throughput returns to the same order of magnitude.
         assert recovered.throughput_ops_s > 0.5 * healthy.throughput_ops_s
 
+    @pytest.mark.slow
     def test_without_detector_fail_slow_leader_stays(self):
         cluster = Cluster(seed=19)
         raft = deploy_depfast_raft(

@@ -47,6 +47,7 @@ def test_fastpath_consensus(capsys):
     assert "slow " in out
 
 
+@pytest.mark.slow
 def test_spg_analysis(capsys):
     out = run_example("spg_analysis", capsys)
     assert "PASS" in out     # depfast

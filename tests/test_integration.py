@@ -25,6 +25,7 @@ def deploy(group, seed=37, n_clients=16):
 
 
 class TestFiveNodeMinority:
+    @pytest.mark.slow
     def test_two_slow_followers_tolerated(self):
         cluster, raft, driver = deploy(GROUP5)
         injector = FaultInjector(cluster)
@@ -50,6 +51,7 @@ class TestFiveNodeMinority:
         assert healthy_like.throughput_ops_s < 3000.0
 
 
+@pytest.mark.slow
 class TestLeaderLocalFaults:
     def test_slow_leader_disk_is_tolerated_by_group_quorum(self):
         """Commit = any majority holds the entry — including the case
@@ -90,6 +92,7 @@ class TestTransientFaults:
         cluster.run(until_ms=cluster.kernel.now + 15_000.0)
         assert raft["s3"].log.last_index() == raft["s1"].log.last_index()
 
+    @pytest.mark.slow
     def test_sequential_faults_on_different_followers(self):
         cluster, raft, driver = deploy(GROUP3)
         injector = FaultInjector(cluster)
@@ -102,6 +105,7 @@ class TestTransientFaults:
 
 
 class TestRoleInvariants:
+    @pytest.mark.slow
     def test_exactly_one_leader_after_churn(self):
         cluster, raft, driver = deploy(GROUP3)
         leader = find_leader(raft)
@@ -123,7 +127,11 @@ class TestRoleInvariants:
         assert raft["s1"].commit_index <= commit_before + 64
 
 
+@pytest.mark.slow
 class TestDeterminism:
+    """Seed determinism of full deploys. The fast lane's determinism
+    guard is tests/test_determinism.py's golden trace hashes."""
+
     def test_same_seed_same_results(self):
         def run(seed):
             cluster, raft, driver = deploy(GROUP3, seed=seed)
@@ -146,6 +154,7 @@ class TestDeterminism:
         assert run(1) != run(2)
 
 
+@pytest.mark.slow
 class TestStaticRuntimeSpgDiff:
     """The static analyzer's SPG approximation must predict what the
     tracer actually observes on the 3-node Raft scenario (>= 90%)."""

@@ -1,5 +1,6 @@
 """Property-based tests for the simulation substrate."""
 
+import heapq
 import math
 
 from hypothesis import given, settings
@@ -56,6 +57,116 @@ def test_kernel_clock_never_goes_backwards(delays):
     kernel.run_until_idle()
     assert observed == sorted(observed)
     assert kernel.now == max(delays)
+
+
+# ---------------------------------------------------------------------------
+# Indexed bucket queue vs. reference heapq kernel
+# ---------------------------------------------------------------------------
+class _ReferenceKernel:
+    """The pre-PR5 kernel, reduced to its semantics: one (time, seq) heap
+    with lazy-deletion flags. The production indexed-bucket queue must be
+    observationally identical to this under any interleaving of schedule /
+    cancel / reschedule / run."""
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap = []
+        self._seq = 0
+        self.fired = []
+
+    def schedule(self, delay, tag, chain_delay=None):
+        self._seq += 1
+        entry = [self.now + delay, self._seq, tag, chain_delay, False]
+        heapq.heappush(self._heap, entry)
+        return entry
+
+    @staticmethod
+    def cancel(entry):
+        entry[4] = True
+
+    def pending(self):
+        return sum(1 for entry in self._heap if not entry[4])
+
+    def run(self, until_ms):
+        while self._heap and self._heap[0][0] <= until_ms:
+            time_ms, _seq, tag, chain_delay, cancelled = heapq.heappop(self._heap)
+            if cancelled:
+                continue
+            self.now = time_ms
+            self.fired.append((tag, time_ms))
+            if chain_delay is not None:
+                self.schedule(chain_delay, f"{tag}+chain")
+        self.now = max(self.now, until_ms)
+
+
+# Small palette with repeats so same-timestamp batches actually happen.
+_DELAYS = st.sampled_from([0.0, 0.25, 1.0, 1.0, 2.5, 5.0, 10.0]) | st.floats(
+    min_value=0.0, max_value=20.0, allow_nan=False
+)
+
+
+@given(data=st.data())
+@settings(max_examples=150, deadline=None)
+def test_indexed_queue_equivalent_to_reference_heapq(data):
+    """Random push/pop/cancel/reschedule programs: bucket queue == heapq."""
+    kernel = Kernel()
+    ref = _ReferenceKernel()
+    fired = []
+    handles = []  # (ScheduledCall, reference entry)
+
+    def fire(tag, chain_delay):
+        fired.append((tag, kernel.now))
+        if chain_delay is not None:
+            kernel.schedule(chain_delay, fire, f"{tag}+chain", None)
+
+    n_ops = data.draw(st.integers(min_value=1, max_value=40))
+    for op_index in range(n_ops):
+        op = data.draw(
+            st.sampled_from(["schedule", "schedule", "chain", "cancel", "resched", "run"])
+        )
+        if op == "schedule" or (op in ("cancel", "resched") and not handles):
+            delay = data.draw(_DELAYS)
+            tag = f"e{op_index}"
+            handles.append(
+                (kernel.schedule(delay, fire, tag, None), ref.schedule(delay, tag))
+            )
+        elif op == "chain":
+            delay = data.draw(_DELAYS)
+            chain_delay = data.draw(_DELAYS)
+            tag = f"e{op_index}"
+            handles.append(
+                (
+                    kernel.schedule(delay, fire, tag, chain_delay),
+                    ref.schedule(delay, tag, chain_delay),
+                )
+            )
+        elif op == "cancel":
+            call, entry = data.draw(st.sampled_from(handles))
+            call.cancel()
+            ref.cancel(entry)
+        elif op == "resched":
+            # Reschedule = cancel + schedule again at a fresh delay.
+            call, entry = data.draw(st.sampled_from(handles))
+            call.cancel()
+            ref.cancel(entry)
+            delay = data.draw(_DELAYS)
+            tag = f"e{op_index}r"
+            handles.append(
+                (kernel.schedule(delay, fire, tag, None), ref.schedule(delay, tag))
+            )
+        else:  # run
+            until = kernel.now + data.draw(_DELAYS)
+            kernel.run(until_ms=until)
+            ref.run(until)
+            assert kernel.now == ref.now
+            assert fired == ref.fired
+
+    horizon = kernel.now + 1000.0
+    kernel.run(until_ms=horizon)
+    ref.run(horizon)
+    assert fired == ref.fired
+    assert kernel.now == ref.now
+    assert kernel.pending() == ref.pending()
 
 
 # ---------------------------------------------------------------------------

@@ -171,6 +171,7 @@ class TestLogCompaction:
 # End-to-end compaction + snapshot install
 # ---------------------------------------------------------------------------
 class TestSnapshotInstall:
+    @pytest.mark.slow
     def test_compaction_bounds_live_log(self):
         cluster, raft = deploy(
             snapshot_threshold_entries=400, compaction_keep_entries=100

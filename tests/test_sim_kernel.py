@@ -142,6 +142,145 @@ def test_next_event_time_none_when_idle():
     assert Kernel().next_event_time() is None
 
 
+def test_cancelled_head_beyond_safety_bound_is_garbage_not_work():
+    """Only *live* events count toward the run_until_idle safety bound.
+
+    Regression guard for the old duplicated lazy-pop logic in run() /
+    run_until_idle(): a cancelled far-future timer (an expired wait
+    timeout) must not trip the bound or advance the clock.
+    """
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(1.0, fired.append, "near")
+    far = kernel.schedule(5_000_000.0, fired.append, "far")
+    far.cancel()
+    kernel.run_until_idle(max_time_ms=10_000.0)
+    assert fired == ["near"]
+    assert kernel.now == 1.0  # the cancelled far event never advanced time
+
+
+def test_callback_cancels_same_timestamp_event_behind_it():
+    """A batch event can cancel a same-timestamp event queued behind it."""
+    kernel = Kernel()
+    fired = []
+    victim = kernel.schedule(5.0, fired.append, "victim")
+    # victim is cancelled before the run; straggler is cancelled from
+    # *inside* the 5.0 batch by an event ahead of it (the lazy-pop path).
+    kernel.schedule_at(5.0, lambda: straggler.cancel())
+    straggler = kernel.schedule_at(5.0, fired.append, "straggler")
+    victim.cancel()
+    kernel.schedule_at(5.0, fired.append, "kept")
+    kernel.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_run_is_not_reentrant():
+    """Calling run()/run_until_idle() from a callback is kernel misuse.
+
+    The old loop silently allowed it and corrupted the _running flag and
+    the outer run's until_ms boundary; now it raises.
+    """
+    kernel = Kernel()
+    errors = []
+
+    def naughty():
+        try:
+            kernel.run_until_idle()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    kernel.schedule(1.0, naughty)
+    kernel.run(until_ms=10.0)
+    assert len(errors) == 1 and "not reentrant" in errors[0]
+
+
+def test_stop_mid_batch_preserves_same_time_remainder():
+    """stop() between two same-timestamp events leaves the rest queued."""
+    kernel = Kernel()
+    fired = []
+    kernel.schedule(5.0, lambda: (fired.append("a"), kernel.stop()))
+    kernel.schedule(5.0, fired.append, "b")
+    kernel.schedule(5.0, fired.append, "c")
+    kernel.run(until_ms=100.0)
+    assert fired == ["a"]
+    assert kernel.pending() == 2
+    kernel.run(until_ms=100.0)
+    assert fired == ["a", "b", "c"]
+
+
+def test_compaction_preserves_order_and_counts():
+    """Cancelling most of a large queue compacts it without reordering."""
+    kernel = Kernel()
+    fired = []
+    calls = [
+        kernel.schedule(float(i % 13), fired.append, i) for i in range(500)
+    ]
+    for i, call in enumerate(calls):
+        if i % 10 != 0:
+            call.cancel()
+    survivors = [i for i in range(500) if i % 10 == 0]
+    assert kernel.pending() == len(survivors)
+    kernel.run_until_idle()
+    expected = sorted(survivors, key=lambda i: (i % 13, i))
+    assert fired == expected
+
+
+def test_cancel_during_run_defers_compaction_safely():
+    """Mass-cancelling from inside a callback must not corrupt the queue."""
+    kernel = Kernel()
+    fired = []
+    victims = [kernel.schedule(50.0, fired.append, f"v{i}") for i in range(200)]
+    kernel.schedule(10.0, lambda: [v.cancel() for v in victims])
+    kernel.schedule(60.0, fired.append, "end")
+    kernel.run_until_idle()
+    assert fired == ["end"]
+    assert kernel.pending() == 0
+
+
+def test_events_executed_counts_only_live_events():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    dead = kernel.schedule(2.0, lambda: None)
+    dead.cancel()
+    kernel.schedule(3.0, lambda: None)
+    kernel.run_until_idle()
+    assert kernel.events_executed == 2
+
+
+def test_profile_counts_by_module():
+    kernel = Kernel()
+    kernel.enable_profile()
+    kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.run_until_idle()
+    counts = kernel.profile_counts()
+    assert sum(counts.values()) == 2
+    assert all(isinstance(module, str) for module in counts)
+
+
+def test_cancel_after_execution_is_a_noop():
+    """Cancelling an already-executed call must not corrupt live counts."""
+    kernel = Kernel()
+    call = kernel.schedule(1.0, lambda: None)
+    kernel.schedule(2.0, lambda: None)
+    kernel.run(until_ms=1.5)
+    call.cancel()  # already ran
+    call.cancel()
+    assert kernel.pending() == 1
+    kernel.run_until_idle()  # would exit early if _live went negative
+    assert kernel.events_executed == 2
+
+
+def test_callback_cancelling_its_own_handle_is_a_noop():
+    kernel = Kernel()
+    holder = {}
+    holder["call"] = kernel.schedule(1.0, lambda: holder["call"].cancel())
+    kernel.schedule(2.0, lambda: None)
+    kernel.run_until_idle()
+    assert kernel.pending() == 0
+    assert kernel.events_executed == 2
+
+
 def test_run_until_idle_safety_bound():
     kernel = Kernel()
 

@@ -102,6 +102,63 @@ class TestLatencyRecorder:
             LatencyRecorder().percentile(101)
 
 
+class TestLatencySampling:
+    def test_stride_one_retains_everything(self):
+        rec = LatencyRecorder()
+        for i in range(100):
+            rec.record(completed_at=float(i), latency_ms=float(i + 1))
+        assert rec.count() == 100
+        assert len(rec._samples) == 100
+
+    def test_stride_bounds_retained_samples(self):
+        rec = LatencyRecorder(sample_stride=10)
+        for i in range(1000):
+            rec.record(completed_at=float(i), latency_ms=float(i + 1))
+        assert rec.count() == 1000           # exact, sampling-independent
+        assert len(rec._samples) == 100      # every 10th retained
+
+    def test_sampled_aggregates_stay_exact(self):
+        rec = LatencyRecorder(sample_stride=7)
+        latencies = [float((i * 13) % 101) for i in range(500)]
+        for i, latency in enumerate(latencies):
+            rec.record(completed_at=float(i), latency_ms=latency)
+        s = rec.summary()
+        assert s.count == 500
+        assert s.mean == pytest.approx(sum(latencies) / len(latencies))
+        assert s.minimum == min(latencies)
+        assert s.maximum == max(latencies)
+
+    def test_sampled_percentiles_track_distribution(self):
+        import random
+
+        rng = random.Random(42)
+        rec = LatencyRecorder(sample_stride=10)
+        for i in range(10_000):
+            rec.record(completed_at=float(i), latency_ms=rng.uniform(0.0, 100.0))
+        # Uniform 0..100: sampled p50 must land near the true median.
+        assert abs(rec.summary().p50 - 50.0) <= 5.0
+
+    def test_sampling_is_deterministic(self):
+        def run():
+            rec = LatencyRecorder(sample_stride=3)
+            for i in range(100):
+                rec.record(completed_at=float(i), latency_ms=float(i))
+            return list(rec._samples)
+
+        assert run() == run()
+
+    def test_bad_stride_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder(sample_stride=0)
+
+    def test_registry_stride_applies_to_recorders(self):
+        reg = MetricsRegistry("n1", latency_stride=5)
+        assert reg.latency("put").sample_stride == 5
+        reg.set_latency_stride(2)
+        assert reg.latency("put").sample_stride == 2       # existing updated
+        assert reg.latency("get").sample_stride == 2       # new inherits
+
+
 class TestMetricsRegistry:
     def test_same_name_returns_same_metric(self):
         reg = MetricsRegistry("node1")
