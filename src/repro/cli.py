@@ -8,6 +8,7 @@ Usage::
     python -m repro figure3 [--smoke]
     python -m repro experiment --system depfast --fault cpu_slow
     python -m repro chaos [--seed N] [--seeds 20] [--group-sizes 3 5]
+    python -m repro mitigate [--smoke] [--seed N] [--faults cpu_slow ...]
     python -m repro lint [paths] [--format text|json] [--strict]
     python -m repro profile <raft|paxos|chain|chaos|microbench> [--seed N]
 
@@ -100,6 +101,35 @@ def _cmd_chaos(args) -> int:
     return 0 if campaign.ok else 1
 
 
+def _cmd_mitigate(args) -> int:
+    from repro.bench.mitigation import (
+        MATRIX_FAULTS,
+        MitigationParams,
+        render_mitigation_matrix,
+        run_mitigation_matrix,
+        smoke_params,
+    )
+
+    unknown = [fault for fault in args.faults if fault not in MATRIX_FAULTS]
+    if unknown:
+        print(
+            f"mitigate: unknown fault(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(MATRIX_FAULTS)})"
+        )
+        return 2
+    params = smoke_params() if args.smoke else MitigationParams()
+    result = run_mitigation_matrix(
+        faults=args.faults or None,
+        seed=args.seed,
+        params=params,
+        include_flapping=not args.no_flapping,
+    )
+    print(render_mitigation_matrix(result))
+    if result.control.false_positive_demotions:
+        return 1
+    return 0 if result.ok else 1
+
+
 def _cmd_profile(args) -> int:
     from repro.bench import profile as prof
 
@@ -171,6 +201,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     chaos.add_argument("--verbose", action="store_true", help="print nemesis logs")
     chaos.set_defaults(func=_cmd_chaos)
+
+    mitigate = sub.add_parser(
+        "mitigate",
+        help="mitigation matrix: detector-on vs -off across Table 1 leader faults",
+    )
+    mitigate.add_argument("--seed", type=int, default=7)
+    mitigate.add_argument("--smoke", action="store_true", help="shortened CI profile")
+    mitigate.add_argument(
+        "--faults",
+        nargs="*",
+        default=[],
+        help="subset of Table 1 faults to run (default: the full matrix)",
+    )
+    mitigate.add_argument(
+        "--no-flapping", action="store_true", help="skip the flapping-fault row"
+    )
+    mitigate.set_defaults(func=_cmd_mitigate)
 
     prof = sub.add_parser(
         "profile", help="virtual-time profiler: events/wall-second per scenario"

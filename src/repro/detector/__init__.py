@@ -18,17 +18,35 @@ fail-slow node to a (well-tolerated) follower.
 from repro.detector.leader_detector import (
     DetectorConfig,
     LeaderSlownessDetector,
+    Suspicion,
     attach_detectors,
+)
+from repro.detector.mitigation import (
+    MitigationConfig,
+    MitigationController,
+    deploy_mitigation,
 )
 from repro.detector.peer_monitor import (
     PeerSlownessReport,
     analyze_peer_slowness,
 )
+from repro.detector.scoring import (
+    PeerHealth,
+    ScoringConfig,
+    SlownessScorer,
+)
 
 __all__ = [
     "DetectorConfig",
     "LeaderSlownessDetector",
+    "MitigationConfig",
+    "MitigationController",
+    "PeerHealth",
     "PeerSlownessReport",
+    "ScoringConfig",
+    "SlownessScorer",
+    "Suspicion",
     "analyze_peer_slowness",
     "attach_detectors",
+    "deploy_mitigation",
 ]

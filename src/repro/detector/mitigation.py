@@ -1,0 +1,296 @@
+"""Online auto-mitigation: act on fail-slow scores, don't just report them.
+
+The paper's §5 sketches the loop this module closes: trace points feed
+failure detectors, and detected failure modes get mitigation procedures
+"specific to the detected failure modes". The controller combines three
+actions over one Raft group:
+
+* **Leadership transfer** — when follower-side detectors suspect the
+  leader of being fail-slow, ask the healthiest voting follower (by
+  link score) to campaign immediately (TimeoutNow), instead of waiting
+  for election timeouts to expire naturally.
+* **Learner demotion** — a follower the scorer holds in SUSPECT for
+  ``demote_after_windows`` consecutive windows is demoted to a
+  non-voting learner through the replicated conf-change path: it keeps
+  replicating (and keeps producing RTT samples) but can never sit on a
+  quorum again. Crashed nodes are demoted the same way so a rebooted
+  replica re-enters the quorum only through probation.
+* **Recovery probation** — a demoted node must look healthy for
+  ``probation_windows`` consecutive windows before the controller
+  promotes it back to a voter and clears any standing leader suspicion
+  against it. A flapping node that turns slow again mid-probation has
+  its counter reset — it stays a learner until it holds a full healthy
+  streak.
+
+The controller runs as a seeded-deterministic kernel timer (like the
+chaos Nemesis): every decision is a pure function of simulation state at
+tick time, so mitigation runs replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.detector.leader_detector import LeaderSlownessDetector
+from repro.detector.scoring import PeerHealth, ScoringConfig, SlownessScorer
+from repro.raft.service import find_leader
+from repro.raft.types import CONF_DEMOTE, CONF_PROMOTE
+
+
+@dataclass
+class MitigationConfig:
+    # Scoring window cadence (virtual ms between controller ticks).
+    window_ms: float = 500.0
+    scoring: ScoringConfig = field(default_factory=ScoringConfig)
+    # -- leadership transfer --------------------------------------------
+    enable_leadership_transfer: bool = True
+    # Consecutive ticks a leader suspicion must stand (with the suspect
+    # still leading) before the controller forces a transfer; the
+    # detector's own heartbeat-ignore path usually wins the race.
+    transfer_grace_windows: int = 2
+    # -- learner demotion -----------------------------------------------
+    enable_demotion: bool = True
+    # Windows a peer must stay in scorer-SUSPECT before demotion.
+    demote_after_windows: int = 2
+    # Demote crashed voters so a rebooted replica rejoins via probation.
+    demote_crashed: bool = True
+    # Never demote below this many voters (None = majority of the full
+    # group, the smallest configuration that keeps the group's original
+    # fault tolerance story meaningful).
+    min_voters: Optional[int] = None
+    # -- probation -------------------------------------------------------
+    # Consecutive healthy windows a demoted node needs to rejoin.
+    probation_windows: int = 6
+
+
+class NodeStatus(enum.Enum):
+    VOTER = "voter"
+    SUSPECT = "suspect"          # scorer flagged; counting toward demotion
+    DEMOTING = "demoting"        # demote proposed, not yet applied
+    PROBATION = "probation"      # learner; counting healthy windows
+    PROMOTING = "promoting"      # promote proposed, not yet applied
+
+
+@dataclass
+class MitigationAction:
+    at: float
+    kind: str     # "transfer" | "demote" | "promote"
+    node: str
+    detail: str = ""
+
+
+class MitigationController:
+    """Scores peers every window and enacts mitigations on one Raft group."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        raft_nodes: Dict[str, object],
+        detectors: Optional[Sequence[LeaderSlownessDetector]] = None,
+        config: Optional[MitigationConfig] = None,
+    ):
+        self.cluster = cluster
+        self.raft_nodes = raft_nodes  # mutated in place by restarts
+        self.detectors = list(detectors) if detectors else []
+        self.config = config or MitigationConfig()
+        self.scorer = SlownessScorer(cluster.tracer, self.config.scoring)
+        self.group = sorted(raft_nodes)
+        if self.config.min_voters is None:
+            self.min_voters = len(self.group) // 2 + 1
+        else:
+            self.min_voters = self.config.min_voters
+        self.status: Dict[str, NodeStatus] = {
+            node_id: NodeStatus.VOTER for node_id in self.group
+        }
+        self.actions: List[MitigationAction] = []
+        self.transfers = 0
+        self.demotions = 0
+        self.promotions = 0
+        self.ticks = 0
+        self._suspect_windows: Dict[str, int] = {}
+        self._probation_streak: Dict[str, int] = {}
+        self._leader_suspect_windows = 0
+        self._started = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("controller already started")
+        self._started = True
+        self.cluster.kernel.schedule(self.config.window_ms, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def first_detection_at(self) -> Optional[float]:
+        """Earliest suspicion from any signal (detectors or scorer)."""
+        times: List[float] = [
+            suspicion.at
+            for detector in self.detectors
+            for suspicion in detector.suspicions
+        ]
+        times.extend(
+            transition.at
+            for transition in self.scorer.transitions
+            if transition.state == PeerHealth.SUSPECT
+        )
+        return min(times) if times else None
+
+    def first_action_at(self, kinds: Optional[Tuple[str, ...]] = None) -> Optional[float]:
+        times = [
+            action.at
+            for action in self.actions
+            if kinds is None or action.kind in kinds
+        ]
+        return min(times) if times else None
+
+    # ------------------------------------------------------------------
+    # The control loop
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.cluster.kernel.now
+        self.ticks += 1
+        transitions = self.scorer.roll_window(now)
+        leader = find_leader(self.raft_nodes)
+        if leader is not None:
+            self._act_on_leader(leader, now)
+            self._act_on_followers(leader, now)
+            self._advance_probation(leader, now, transitions)
+        self.cluster.kernel.schedule(self.config.window_ms, self._tick)
+
+    # -- leadership transfer --------------------------------------------
+    def _act_on_leader(self, leader, now: float) -> None:
+        if not self.config.enable_leadership_transfer:
+            return
+        suspected = any(
+            detector.raft.suspected_leader == leader.id
+            and not detector.raft.rt.crashed
+            for detector in self.detectors
+        )
+        if not suspected:
+            self._leader_suspect_windows = 0
+            return
+        self._leader_suspect_windows += 1
+        if self._leader_suspect_windows < self.config.transfer_grace_windows:
+            return
+        target = self._healthiest_voter(leader)
+        if target is not None and leader.transfer_leadership(target):
+            self.transfers += 1
+            self._leader_suspect_windows = 0
+            self.actions.append(
+                MitigationAction(now, "transfer", leader.id, f"-> {target}")
+            )
+
+    def _healthiest_voter(self, leader) -> Optional[str]:
+        """The lowest-scored live voting peer, by the leader's own links."""
+        candidates = [
+            peer
+            for peer in leader.voting_peers()
+            if not self.cluster.node(peer).crashed
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda peer: (self.scorer.score(leader.id, peer), peer))
+
+    # -- follower demotion ----------------------------------------------
+    def _act_on_followers(self, leader, now: float) -> None:
+        if not self.config.enable_demotion:
+            return
+        for peer in leader.voting_peers():
+            status = self.status.get(peer, NodeStatus.VOTER)
+            if status in (NodeStatus.PROBATION, NodeStatus.PROMOTING):
+                continue  # already out of the quorum
+            crashed = self.cluster.node(peer).crashed
+            slow = self.scorer.state(leader.id, peer) == PeerHealth.SUSPECT
+            if crashed and self.config.demote_crashed:
+                self._propose_demote(leader, peer, now, "crashed")
+                continue
+            if not slow:
+                self._suspect_windows[peer] = 0
+                if status == NodeStatus.SUSPECT:
+                    self.status[peer] = NodeStatus.VOTER
+                continue
+            self.status[peer] = NodeStatus.SUSPECT
+            self._suspect_windows[peer] = self._suspect_windows.get(peer, 0) + 1
+            if self._suspect_windows[peer] >= self.config.demote_after_windows:
+                self._propose_demote(leader, peer, now, "fail-slow")
+
+    def _propose_demote(self, leader, peer, now: float, why: str) -> None:
+        if len(leader.voting_members) - 1 < self.min_voters:
+            return  # would leave too few voters; tolerate the slowness
+        done = leader.propose_conf_change(CONF_DEMOTE, peer)
+        if done is None:
+            return
+        self.demotions += 1
+        self.status[peer] = NodeStatus.DEMOTING
+        self._suspect_windows[peer] = 0
+        self._probation_streak[peer] = 0
+        self.actions.append(MitigationAction(now, "demote", peer, why))
+
+    # -- probation and promotion ----------------------------------------
+    def _advance_probation(self, leader, now: float, transitions) -> None:
+        # A cleared scorer verdict also clears standing leader suspicion:
+        # a recovered ex-leader must be electable (and followable) again.
+        for transition in transitions:
+            if transition.state == PeerHealth.HEALTHY:
+                for detector in self.detectors:
+                    detector.unsuspect(transition.peer, now)
+        for node_id in self.group:
+            status = self.status.get(node_id)
+            if status == NodeStatus.DEMOTING:
+                if node_id not in leader.voting_members:
+                    self.status[node_id] = NodeStatus.PROBATION
+                    self._probation_streak[node_id] = 0
+            elif status == NodeStatus.PROBATION:
+                healthy = (
+                    not self.cluster.node(node_id).crashed
+                    and self.scorer.state(leader.id, node_id) == PeerHealth.HEALTHY
+                    and self.scorer.score(leader.id, node_id) < 1.0
+                )
+                if healthy:
+                    self._probation_streak[node_id] = (
+                        self._probation_streak.get(node_id, 0) + 1
+                    )
+                else:
+                    self._probation_streak[node_id] = 0
+                if self._probation_streak[node_id] >= self.config.probation_windows:
+                    done = leader.propose_conf_change(CONF_PROMOTE, node_id)
+                    if done is not None:
+                        self.promotions += 1
+                        self.status[node_id] = NodeStatus.PROMOTING
+                        self.actions.append(
+                            MitigationAction(now, "promote", node_id, "probation passed")
+                        )
+            elif status == NodeStatus.PROMOTING:
+                if node_id in leader.voting_members:
+                    self.status[node_id] = NodeStatus.VOTER
+                    for detector in self.detectors:
+                        detector.unsuspect(node_id, now)
+
+
+def deploy_mitigation(
+    cluster: Cluster,
+    raft_nodes: Dict[str, object],
+    detector_config=None,
+    config: Optional[MitigationConfig] = None,
+) -> Tuple[List[LeaderSlownessDetector], MitigationController]:
+    """Attach leader detectors + a started controller to a deployed group."""
+    from repro.detector.leader_detector import attach_detectors
+
+    detectors = attach_detectors(raft_nodes, config=detector_config)
+    controller = MitigationController(
+        cluster, raft_nodes, detectors=detectors, config=config
+    )
+    controller.start()
+    return detectors, controller

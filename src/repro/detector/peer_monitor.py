@@ -30,7 +30,15 @@ class PeerLatencyProfile:
         self.peer = peer
         ordered = sorted(samples)
         self.count = len(ordered)
-        self.median_ms = ordered[len(ordered) // 2]
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            self.median_ms = ordered[mid]
+        else:
+            # Interpolate the true median for even counts: taking the
+            # upper element biases the estimate high by up to one whole
+            # inter-sample gap, which flips factor-based suspicion on
+            # nothing but sample-count parity.
+            self.median_ms = 0.5 * (ordered[mid - 1] + ordered[mid])
         self.p95_ms = ordered[max(0, math.ceil(0.95 * len(ordered)) - 1)]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,0 +1,224 @@
+"""Streaming per-link fail-slow scoring over live trace points (§5).
+
+The offline detectors (:mod:`repro.detector.peer_monitor`) post-process
+the tracer's RPC latency list; this module is the *online* counterpart:
+it subscribes to the tracer's streaming hooks and maintains, per
+(caller, peer) link,
+
+* an **RTT EWMA** — exponentially-weighted round-trip latency, updated
+  on every reply (including quorum stragglers nobody waited on);
+* a **quorum-miss EWMA** — how often the peer fails to make the winning
+  quorum of a round it was broadcast to (fed by the quorum-arrival rank
+  trace points reported when a QuorumEvent fires).
+
+Scores are rolled up into windowed health verdicts with **hysteresis**:
+a peer must look slow for ``suspect_windows`` consecutive windows to be
+flagged, and healthy again for ``clear_windows`` consecutive windows to
+be cleared — so jittery links don't flap the verdict, while flapping
+*faults* (slow/healthy/slow...) still re-flag on every slow phase.
+
+Everything here is pure arithmetic over the deterministic trace stream:
+two runs of the same seeded scenario produce bit-identical scores (the
+golden-trace determinism harness relies on this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.tracepoints import QuorumArrival, Tracer
+
+
+@dataclass
+class ScoringConfig:
+    # EWMA smoothing for RTT samples (higher = more reactive).
+    ewma_alpha: float = 0.15
+    # EWMA smoothing for the per-round quorum-miss indicator.
+    miss_alpha: float = 0.1
+    # A peer is suspicious when its RTT EWMA exceeds this multiple of the
+    # healthiest peer's EWMA (same caller), ...
+    rtt_factor: float = 3.0
+    # ...or when it misses the winning quorum in (practically) every
+    # round. A 3-node group's two followers each naturally miss ~half of
+    # their rounds, so the threshold sits far above any healthy baseline.
+    miss_rate_threshold: float = 0.95
+    # Minimum RTT samples on a link before it can be judged at all.
+    min_samples: int = 8
+    # Hysteresis: consecutive suspicious windows to flag ...
+    suspect_windows: int = 3
+    # ... and consecutive healthy windows to clear.
+    clear_windows: int = 4
+
+
+class PeerHealth(enum.Enum):
+    HEALTHY = "healthy"
+    SUSPECT = "suspect"
+
+
+class LinkScore:
+    """Streaming statistics for one (caller, peer) link."""
+
+    __slots__ = ("caller", "peer", "rtt_ewma_ms", "samples", "miss_ewma", "rounds")
+
+    def __init__(self, caller: str, peer: str):
+        self.caller = caller
+        self.peer = peer
+        self.rtt_ewma_ms: Optional[float] = None
+        self.samples = 0
+        self.miss_ewma = 0.0
+        self.rounds = 0
+
+    def observe_rtt(self, latency_ms: float, alpha: float) -> None:
+        self.samples += 1
+        if self.rtt_ewma_ms is None:
+            self.rtt_ewma_ms = latency_ms
+        else:
+            self.rtt_ewma_ms += alpha * (latency_ms - self.rtt_ewma_ms)
+
+    def observe_round(self, in_quorum: bool, alpha: float) -> None:
+        self.rounds += 1
+        miss = 0.0 if in_quorum else 1.0
+        self.miss_ewma += alpha * (miss - self.miss_ewma)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rtt = f"{self.rtt_ewma_ms:.2f}ms" if self.rtt_ewma_ms is not None else "-"
+        return (
+            f"<LinkScore {self.caller}->{self.peer} rtt~{rtt} "
+            f"miss~{self.miss_ewma:.2f} n={self.samples}>"
+        )
+
+
+@dataclass
+class ScoreTransition:
+    """One hysteresis edge: a peer crossed into or out of suspicion."""
+
+    caller: str
+    peer: str
+    state: PeerHealth
+    score: float
+    at: float
+
+
+class SlownessScorer:
+    """Live per-link scoring; attach to a cluster tracer and roll windows.
+
+    ``roll_window(now)`` is driven externally (the mitigation controller
+    schedules it on the virtual clock) so the scorer itself stays a pure
+    function of the trace stream and the roll times.
+    """
+
+    def __init__(self, tracer: Tracer, config: Optional[ScoringConfig] = None):
+        self.config = config or ScoringConfig()
+        self.links: Dict[Tuple[str, str], LinkScore] = {}
+        self.windows_rolled = 0
+        self.transitions: List[ScoreTransition] = []
+        # (caller, peer) -> hysteresis state machine counters.
+        self._state: Dict[Tuple[str, str], PeerHealth] = {}
+        self._bad_streak: Dict[Tuple[str, str], int] = {}
+        self._good_streak: Dict[Tuple[str, str], int] = {}
+        tracer.add_rpc_listener(self._on_rpc)
+        tracer.add_quorum_listener(self._on_quorum)
+
+    # ------------------------------------------------------------------
+    # Streaming trace-point intake
+    # ------------------------------------------------------------------
+    def _on_rpc(
+        self, node: str, peer: str, method: str, latency_ms: float, now: float
+    ) -> None:
+        self._link(node, peer).observe_rtt(latency_ms, self.config.ewma_alpha)
+
+    def _on_quorum(self, arrival: QuorumArrival) -> None:
+        self._link(arrival.caller, arrival.peer).observe_round(
+            arrival.in_quorum, self.config.miss_alpha
+        )
+
+    def _link(self, caller: str, peer: str) -> LinkScore:
+        key = (caller, peer)
+        link = self.links.get(key)
+        if link is None:
+            link = LinkScore(caller, peer)
+            self.links[key] = link
+        return link
+
+    # ------------------------------------------------------------------
+    # Windowed scoring with hysteresis
+    # ------------------------------------------------------------------
+    def score(self, caller: str, peer: str) -> float:
+        """Instantaneous badness: >= 1.0 means suspicious right now.
+
+        The RTT component compares the link's EWMA against the best
+        (lowest) EWMA among the same caller's judged links; the rank
+        component compares quorum-miss frequency against the threshold.
+        """
+        cfg = self.config
+        link = self.links.get((caller, peer))
+        if link is None or link.samples < cfg.min_samples or link.rtt_ewma_ms is None:
+            return 0.0
+        baseline = min(
+            (
+                other.rtt_ewma_ms
+                for (other_caller, _), other in self.links.items()
+                if other_caller == caller
+                and other.samples >= cfg.min_samples
+                and other.rtt_ewma_ms is not None
+            ),
+            default=None,
+        )
+        rtt_component = 0.0
+        if baseline is not None and baseline > 0:
+            rtt_component = (link.rtt_ewma_ms / baseline) / cfg.rtt_factor
+        rank_component = 0.0
+        if link.rounds >= cfg.min_samples:
+            rank_component = link.miss_ewma / cfg.miss_rate_threshold
+        return max(rtt_component, rank_component)
+
+    def scores_from(self, caller: str) -> Dict[str, float]:
+        """Current scores for every judged peer of one caller."""
+        return {
+            peer: self.score(caller, peer)
+            for (link_caller, peer) in sorted(self.links)
+            if link_caller == caller
+        }
+
+    def state(self, caller: str, peer: str) -> PeerHealth:
+        return self._state.get((caller, peer), PeerHealth.HEALTHY)
+
+    def suspects_of(self, caller: str) -> List[str]:
+        return sorted(
+            peer
+            for (link_caller, peer), state in self._state.items()
+            if link_caller == caller and state == PeerHealth.SUSPECT
+        )
+
+    def roll_window(self, now: float) -> List[ScoreTransition]:
+        """Close one check window: update hysteresis on every judged link.
+
+        Returns the transitions (suspect/clear edges) this window caused.
+        """
+        cfg = self.config
+        self.windows_rolled += 1
+        edges: List[ScoreTransition] = []
+        for key in sorted(self.links):
+            caller, peer = key
+            value = self.score(caller, peer)
+            state = self._state.get(key, PeerHealth.HEALTHY)
+            if value >= 1.0:
+                self._bad_streak[key] = self._bad_streak.get(key, 0) + 1
+                self._good_streak[key] = 0
+            else:
+                self._good_streak[key] = self._good_streak.get(key, 0) + 1
+                self._bad_streak[key] = 0
+            if state == PeerHealth.HEALTHY:
+                if self._bad_streak.get(key, 0) >= cfg.suspect_windows:
+                    self._state[key] = PeerHealth.SUSPECT
+                    edge = ScoreTransition(caller, peer, PeerHealth.SUSPECT, value, now)
+                    edges.append(edge)
+            else:
+                if self._good_streak.get(key, 0) >= cfg.clear_windows:
+                    self._state[key] = PeerHealth.HEALTHY
+                    edge = ScoreTransition(caller, peer, PeerHealth.HEALTHY, value, now)
+                    edges.append(edge)
+        self.transitions.extend(edges)
+        return edges

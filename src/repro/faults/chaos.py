@@ -112,6 +112,35 @@ class Nemesis:
         """A Table 1 fail-slow transient (queued by the injector on overlap)."""
         self.injector.inject_transient(node_id, spec_or_name, at_ms, duration_ms)
 
+    def schedule_flapping(
+        self,
+        node_id: str,
+        spec_or_name,
+        at_ms: float,
+        on_ms: float,
+        off_ms: float,
+        cycles: int,
+    ) -> None:
+        """A flapping fail-slow fault: ``cycles`` on/off pulses of one spec.
+
+        The victim is slow for ``on_ms``, healthy for ``off_ms``, then
+        slow again — the detector stress case: a one-shot detector
+        catches the first pulse and sleeps through the rest. The plan is
+        fully laid out now (plain arithmetic, no draws); ``"__leader__"``
+        resolves per pulse, so a fault that chases leadership around the
+        group is expressible too.
+        """
+        if cycles < 1:
+            raise ValueError("flapping needs at least one cycle")
+        if on_ms <= 0 or off_ms < 0:
+            raise ValueError("flapping pulse durations must be positive")
+        start = at_ms
+        for _ in range(cycles):
+            self.cluster.kernel.schedule_at(
+                start, self._do_flap, node_id, spec_or_name, on_ms
+            )
+            start += on_ms + off_ms
+
     def random_schedule(
         self,
         rng,
@@ -295,6 +324,15 @@ class Nemesis:
     def _end_loss(self, src: str, dst: str) -> None:
         self.cluster.network.set_loss_rate(src, dst, 0.0, symmetric=True)
         self.log.append((self.cluster.kernel.now, "loss-end", f"{src}<->{dst}"))
+
+    def _do_flap(self, node_id: str, spec_or_name, on_ms: float) -> None:
+        node_id = self._resolve(node_id)
+        if self.cluster.node(node_id).crashed:
+            self._skip("flap", f"{node_id} is down")
+            return
+        now = self.cluster.kernel.now
+        self.injector.inject_transient(node_id, spec_or_name, now, on_ms)
+        self.log.append((now, "flap", f"{node_id} for {on_ms:.0f}ms"))
 
     # ------------------------------------------------------------------
     # Final convergence support

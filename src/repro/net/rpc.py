@@ -210,6 +210,15 @@ class QuorumCall:
             self.event.add(rpc_event)
         if discard_on_quorum:
             self.event.subscribe(self._discard_stragglers)
+        tracer = getattr(endpoint.runtime.scheduler, "tracer", None)
+        if tracer is not None:
+            # §5 trace point: report who made this quorum and who
+            # straggled, feeding the online fail-slow scorer.
+            self.event.subscribe(
+                lambda ev, _t=tracer: _t.report_quorum_event(
+                    endpoint.node, ev, endpoint.runtime.now
+                )
+            )
 
     @staticmethod
     def _wrap_classifier(

@@ -10,7 +10,7 @@ the paper's operating point.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 
 @dataclass
@@ -57,6 +57,14 @@ class RaftConfig:
     apply_cost_ms: float = 0.06            # per entry applied to the KV
     replicate_entry_cost_ms: float = 0.01  # per entry serialized per peer
 
+    # -- membership ------------------------------------------------------
+    # Initial voting members (None = every group member votes). Nodes in
+    # the group but not listed start as non-voting learners: replicated
+    # to, never counted toward election or commit quorums. Runtime
+    # demotions/promotions flow through the replicated conf-change path
+    # (RaftNode.propose_conf_change), not this knob.
+    initial_voters: Optional[List[str]] = None
+
     # If set, this node gets a short first election timeout so the group
     # elects a deterministic initial leader (the paper measures a stable
     # leader; elections still work normally afterwards).
@@ -69,6 +77,8 @@ class RaftConfig:
             raise ValueError("batch size must be >= 1")
         if self.heartbeat_interval_ms >= self.election_timeout_min_ms:
             raise ValueError("heartbeats must be faster than election timeouts")
+        if self.initial_voters is not None and not self.initial_voters:
+            raise ValueError("initial_voters must name at least one member")
         if self.read_mode not in ("log", "read_index", "lease"):
             raise ValueError(f"unknown read mode {self.read_mode!r}")
         if self.snapshot_threshold_entries is not None and (

@@ -29,7 +29,15 @@ from repro.events.compound import QuorumEvent
 from repro.net.rpc import QuorumCall
 from repro.raft.config import RaftConfig
 from repro.raft.log import RaftLog
-from repro.raft.types import LogEntry, Role, entries_size
+from repro.raft.types import (
+    CONF_CHANGE_OP,
+    CONF_DEMOTE,
+    CONF_PROMOTE,
+    LogEntry,
+    Role,
+    entries_size,
+    is_conf_change,
+)
 from repro.storage.durable import DurableRaftState
 from repro.storage.kvstore import KvStore
 
@@ -63,8 +71,19 @@ class RaftNode:
         self.id = node.node_id
         self.peers = [member for member in group if member != self.id]
         self.group = list(group)
-        self.majority = len(group) // 2 + 1
         self.config = config or RaftConfig()
+        # Voting configuration: quorums (elections, commits, read probes)
+        # count voters only. Learners — group members outside this set —
+        # are replicated to off the quorum path. Mutated exclusively by
+        # applying replicated conf-change entries (single-server changes).
+        if self.config.initial_voters is not None:
+            voters = [member for member in group if member in self.config.initial_voters]
+            if not voters:
+                raise ValueError("initial_voters contains no group member")
+            self.voting_members: Set[str] = set(voters)
+        else:
+            self.voting_members = set(group)
+        self.conf_changes_applied = 0
         self.rng = rng or random.Random(hash(self.id) & 0xFFFF)
 
         self.rt = node.runtime
@@ -78,7 +97,7 @@ class RaftNode:
         self.state_machine_factory = state_machine_factory
         self.term = 0
         self.voted_for: Optional[str] = None
-        self.role = Role.FOLLOWER
+        self.role = Role.FOLLOWER if self.id in self.voting_members else Role.LEARNER
         self.leader_hint: Optional[str] = None
         self.log = RaftLog(cache_entries=self.config.entry_cache_entries)
         # The replicated state machine: a plain KV store by default, or
@@ -116,6 +135,11 @@ class RaftNode:
         self.became_leader = 0
         self.batches_committed = 0
         self.repairs_started = 0
+        self.leadership_transfers = 0
+
+        # Leadership transfer: set by a `timeout_now` message from the
+        # current leader; the main loop runs an immediate election.
+        self._election_now = False
 
         # Follower-side observability consumed by the fail-slow detector
         # (§5): what the leader last reported about itself, and a leader
@@ -123,6 +147,10 @@ class RaftNode:
         # longer reset our election timer, so a re-election happens).
         self.last_heartbeat_at: Optional[float] = None
         self.last_leader_pending = 0
+        # Peak of the reports since a consumer last reset it: the queue
+        # depth is bursty at heartbeat granularity, so sampling only the
+        # latest report at a coarser cadence aliases the backlog away.
+        self.peak_leader_pending = 0
         self.suspected_leader: Optional[str] = None
 
         # Highest log index proven consistent with the current term's
@@ -146,6 +174,21 @@ class RaftNode:
         self.ep.register("read_probe", self._on_read_probe)
         self.ep.register("install_snapshot", self._on_install_snapshot)
         self.ep.register("lag_report", self._on_lag_report)
+        self.ep.register("timeout_now", self._on_timeout_now)
+
+    # ==================================================================
+    # Membership
+    # ==================================================================
+    @property
+    def majority(self) -> int:
+        """Quorum size over the *voting* configuration."""
+        return len(self.voting_members) // 2 + 1
+
+    def is_voter(self, node_id: Optional[str] = None) -> bool:
+        return (node_id or self.id) in self.voting_members
+
+    def voting_peers(self) -> List[str]:
+        return [peer for peer in self.peers if peer in self.voting_members]
 
     # ==================================================================
     # Lifecycle
@@ -215,8 +258,19 @@ class RaftNode:
                 continue
             self._ht_event = ValueEvent(name=f"{self.id}:heartbeat-seen")
             result = yield self._ht_event.wait(timeout_ms=self._election_timeout())
-            if result.timed_out and self.role != Role.LEADER:
+            if self.role == Role.LEADER:
+                continue
+            if self._election_now:
+                # Leadership transfer: the leader asked us to take over
+                # without waiting out an election timeout.
+                self._election_now = False
+                if self.role == Role.FOLLOWER and self.is_voter():
+                    yield from self._run_election()
+                continue
+            if result.timed_out and self.role == Role.FOLLOWER and self.is_voter():
                 yield from self._run_election()
+            # Learners (and demoted voters) sit out elections entirely:
+            # a quiet cluster leaves them parked on the heartbeat wait.
 
     def _election_timeout(self) -> float:
         cfg = self.config
@@ -238,13 +292,16 @@ class RaftNode:
 
     def _run_election(self) -> Generator:
         cfg = self.config
+        if not self.is_voter():
+            return  # learners never campaign
         self.role = Role.CANDIDATE
         self.term += 1
         term = self.term
         self.voted_for = self.id
         self._persist_term()
         self.elections_started += 1
-        if not self.peers:
+        vote_peers = self.voting_peers()
+        if not vote_peers:
             self._become_leader(term)
             return
         payload = {
@@ -255,7 +312,7 @@ class RaftNode:
         }
         call = QuorumCall(
             self.ep,
-            self.peers,
+            vote_peers,
             "request_vote",
             payload,
             size_bytes=32,
@@ -308,8 +365,10 @@ class RaftNode:
             # Consistency proven against the old term's leader says nothing
             # about the new one's log; re-prove before trusting heartbeats.
             self._verified_index = 0
-            if self.role != Role.FOLLOWER:
-                self.role = Role.FOLLOWER
+            if self.role in (Role.LEADER, Role.CANDIDATE):
+                # Learners stay learners: a higher term must not promote
+                # a non-voting member back into the follower pool.
+                self.role = Role.FOLLOWER if self.is_voter() else Role.LEARNER
                 if self._step_down is not None and not self._step_down.ready():
                     self._step_down.set(True, now=self.rt.now)
         if leader is not None:
@@ -346,27 +405,41 @@ class RaftNode:
             )
             yield self.rt.compute(build_cost, name="batch-build")
 
-            # One quorum over {local durability} ∪ {follower acks}: commit
-            # when any majority of the *group* holds the batch. This is
-            # Figure 2's "2/3" wait — and it even tolerates the leader's
-            # own disk being the slow member.
+            # One quorum over {local durability} ∪ {voting follower acks}:
+            # commit when any majority of the *voting configuration* holds
+            # the batch. This is Figure 2's "2/3" wait — and it even
+            # tolerates the leader's own disk being the slow member.
+            # Learners receive the same entries on the same stream but
+            # their acks never gate the commit.
             local_sync = self._stage_durable(entries)
             quorum = QuorumEvent(
                 self.majority,
-                n_total=len(self.group),
+                n_total=len(self.voting_members),
                 classify=self._classify_append,
                 name=f"{self.id}:repl@{first}-{last}",
             )
             quorum.add(local_sync)
             for peer in self.peers:
+                voter = peer in self.voting_members
                 if peer not in self._repairing and self._sent_index[peer] == first - 1:
                     self._sent_index[peer] = last
-                    quorum.add(self._send_append(peer, first - 1, entries, term))
+                    rpc = self._send_append(peer, first - 1, entries, term)
+                    if voter:
+                        quorum.add(rpc)
                 else:
-                    quorum.add(self._catchup_promise(peer, last))
+                    if voter:
+                        quorum.add(self._catchup_promise(peer, last))
                     self._ensure_repair(peer, term)
             if cfg.discard_on_quorum:
                 quorum.subscribe(self._discard_outstanding)
+            tracer = self.rt.scheduler.tracer
+            if tracer is not None and self.peers:
+                # §5 trace point: quorum-arrival ranks feed the online
+                # fail-slow scorer (who made the commit quorum, who
+                # straggled). Pure observation — no kernel interaction.
+                quorum.subscribe(
+                    lambda ev, _t=tracer: _t.report_quorum_event(self.id, ev, self.rt.now)
+                )
 
             commit_gate = quorum
             yield commit_gate.wait(timeout_ms=cfg.append_rpc_timeout_ms)
@@ -527,13 +600,14 @@ class RaftNode:
     def _heartbeat_loop(self, term: int) -> Generator:
         cfg = self.config
         while self._leading(term):
-            if cfg.read_mode == "lease" and self.peers:
+            if cfg.read_mode == "lease" and self.voting_peers():
                 # The lease rides the heartbeat cadence: a quorum of probe
-                # acks extends it from the probe's *send* time.
+                # acks extends it from the probe's *send* time. Learner
+                # acks don't count — the lease must rest on voters.
                 sent_at = self.rt.now
                 lease_call = QuorumCall(
                     self.ep,
-                    self.peers,
+                    self.voting_peers(),
                     "read_probe",
                     {"term": term, "leader": self.id},
                     size_bytes=32,
@@ -594,7 +668,10 @@ class RaftNode:
                         break
                     self.last_applied += 1
                     entry = self.log.entry_at(self.last_applied)
-                    result = self.kv.apply(entry.op)
+                    if is_conf_change(entry.op):
+                        result = self._apply_conf_change(entry.op)
+                    else:
+                        result = self.kv.apply(entry.op)
                     done = self._completions.pop(self.last_applied, None)
                     if done is not None and not done.ready():
                         done.set({"ok": True, "result": result}, now=self.rt.now)
@@ -608,6 +685,83 @@ class RaftNode:
                 pending.done.set(
                     {"ok": False, "redirect": self.leader_hint}, now=self.rt.now
                 )
+
+    # ==================================================================
+    # Membership changes and leadership transfer (mitigation actions)
+    # ==================================================================
+    def _apply_conf_change(self, op) -> Dict[str, Any]:
+        """Apply a committed single-server membership change.
+
+        Every replica applies the same entry at the same log position, so
+        the voting configuration stays agreed. The affected node switches
+        its own role (FOLLOWER <-> LEARNER) as a side effect.
+        """
+        _tag, action, member = op
+        if member in self.group:
+            if action == CONF_DEMOTE:
+                self.voting_members.discard(member)
+                if member == self.id and self.role in (Role.FOLLOWER, Role.CANDIDATE):
+                    self.role = Role.LEARNER
+            elif action == CONF_PROMOTE:
+                self.voting_members.add(member)
+                if member == self.id and self.role == Role.LEARNER:
+                    self.role = Role.FOLLOWER
+            self.conf_changes_applied += 1
+        return {"conf": action, "member": member, "voters": sorted(self.voting_members)}
+
+    def propose_conf_change(self, action: str, member: str) -> Optional[ValueEvent]:
+        """Leader-only: replicate a demote/promote membership change.
+
+        Returns the commit completion event, or None when the change is
+        not proposable from here (not leader, unknown member, no-op, or
+        an attempt to demote the leader itself — transfer leadership
+        first).
+        """
+        if action not in (CONF_DEMOTE, CONF_PROMOTE):
+            raise ValueError(f"unknown conf change action {action!r}")
+        if self.role != Role.LEADER or member not in self.group:
+            return None
+        if action == CONF_DEMOTE and (
+            member == self.id or member not in self.voting_members
+        ):
+            return None
+        if action == CONF_PROMOTE and member in self.voting_members:
+            return None
+        done = ValueEvent(name=f"{self.id}:conf:{action}:{member}")
+        self._pending_ops.append(_PendingOp((CONF_CHANGE_OP, action, member), done))
+        if self._pending_signal is not None and not self._pending_signal.ready():
+            self._pending_signal.set(True, now=self.rt.now)
+        return done
+
+    def transfer_leadership(self, target: str) -> bool:
+        """Leader-only: ask ``target`` to campaign immediately (TimeoutNow).
+
+        The classic Raft transfer: the target skips its randomized
+        election timeout and starts a normal election, whose higher term
+        steps this leader down. Used by the mitigation controller to move
+        leadership off a suspected fail-slow leader without waiting for
+        followers to time out.
+        """
+        if self.role != Role.LEADER or target == self.id:
+            return False
+        if target not in self.peers or target not in self.voting_members:
+            return False
+        self.leadership_transfers += 1
+        self.ep.notify(
+            target, "timeout_now", {"term": self.term, "leader": self.id}, size_bytes=16
+        )
+        return True
+
+    def _on_timeout_now(self, payload: Dict[str, Any], src: str) -> Generator:
+        if (
+            payload["term"] >= self.term
+            and self.role == Role.FOLLOWER
+            and self.is_voter()
+        ):
+            self._election_now = True
+            self._poke_heartbeat()  # wake the main loop without a timeout
+        yield self.rt.compute(0.01, name="timeout-now")
+        return None
 
     # ==================================================================
     # RPC handlers
@@ -661,11 +815,16 @@ class RaftNode:
         self._observe_term(term, leader=payload["leader"])
         self.last_heartbeat_at = self.rt.now
         self.last_leader_pending = payload.get("pending", 0)
+        if self.last_leader_pending > self.peak_leader_pending:
+            self.peak_leader_pending = self.last_leader_pending
         if payload["leader"] != self.suspected_leader:
             self._poke_heartbeat()
         safe_commit = max(self.commit_index, self._verified_index)
         yield from self._advance_commit(min(payload["commit"], safe_commit))
-        if payload["commit"] > safe_commit and self.role == Role.FOLLOWER:
+        if payload["commit"] > safe_commit and self.role in (
+            Role.FOLLOWER,
+            Role.LEARNER,
+        ):
             # The leader has committed past what we verifiably hold: ask it
             # to repair us. Without this, a follower that missed entries
             # while partitioned or rebooting never catches up in a quiet
@@ -698,7 +857,18 @@ class RaftNode:
         candidate = payload["candidate"]
         if term < self.term:
             return {"term": self.term, "granted": False}
+        if candidate not in self.voting_members:
+            # A demoted (or not-yet-promoted) member cannot win here, and
+            # adopting its term would depose a healthy leader — reject
+            # without observing the term, like pre-vote does for stale
+            # rejoining nodes.
+            return {"term": self.term, "granted": False}
         self._observe_term(term, leader=None)
+        if not self.is_voter():
+            # Learners observe terms but never grant votes: their ballot
+            # must not count toward any quorum while demoted.
+            yield self.rt.compute(0.02, name="vote")
+            return {"term": self.term, "granted": False}
         granted = False
         if self.voted_for in (None, candidate) and self.log.up_to_date(
             payload["last_term"], payload["last_index"]
@@ -768,14 +938,14 @@ class RaftNode:
         return {"ok": True, "result": self.kv.get(op[1])}
 
     def _confirm_leadership(self) -> Generator:
-        """One read_index round: a quorum still follows this leader."""
-        if not self.peers:
+        """One read_index round: a quorum of voters still follows this leader."""
+        if not self.voting_peers():
             return True
         term = self.term
         self.read_probes += 1
         call = QuorumCall(
             self.ep,
-            self.peers,
+            self.voting_peers(),
             "read_probe",
             {"term": term, "leader": self.id},
             size_bytes=32,

@@ -16,6 +16,24 @@ class Role(enum.Enum):
     FOLLOWER = "follower"
     CANDIDATE = "candidate"
     LEADER = "leader"
+    # Non-voting member: replicated to and applying, but outside every
+    # election and commit quorum. The mitigation controller demotes a
+    # persistently fail-slow follower to this role so its slowness can
+    # never sit on a quorum path, and promotes it back after probation.
+    LEARNER = "learner"
+
+
+# Log-entry op tag for single-server membership changes. Entries carrying
+# this tag flow through the ordinary replication pipeline but are applied
+# to the group's voting configuration instead of the KV state machine.
+CONF_CHANGE_OP = "raft_conf"
+CONF_DEMOTE = "demote"
+CONF_PROMOTE = "promote"
+
+
+def is_conf_change(op) -> bool:
+    """True when a log-entry op is a membership change, not a KV command."""
+    return bool(op) and op[0] == CONF_CHANGE_OP
 
 
 @dataclass(frozen=True)

@@ -49,9 +49,12 @@ def prob_quorum_delayed(n: int, k: int, p: float) -> float:
     _check_kn(n, k)
     _check_p(p)
     q_fast = 1.0 - p
-    return sum(
+    total = sum(
         math.comb(n, j) * q_fast**j * p ** (n - j) for j in range(k)
     )
+    # The binomial terms are exact to within rounding, but their sum can
+    # land a few ulps outside [0, 1] (e.g. n=k=9, p=0.99 sums to 1+2e-16).
+    return min(1.0, max(0.0, total))
 
 
 def expected_quorum_wait(

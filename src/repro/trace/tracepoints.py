@@ -9,10 +9,43 @@ SPG and the tolerance checker need.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.events.base import Event
 from repro.sim.kernel import Kernel
+
+
+class QuorumArrival:
+    """One peer's outcome in one quorum round, observed at trigger time.
+
+    ``in_quorum`` — this peer's reply was among the acceptably-triggered
+    children when the quorum fired (rank = 1-based arrival position);
+    stragglers get ``in_quorum=False`` and ``rank=None`` — nobody waited
+    for them, which is exactly the §5 signal: a peer that is *repeatedly*
+    outside the winning quorum is slow relative to its group.
+    """
+
+    __slots__ = ("caller", "peer", "in_quorum", "rank", "n_targets", "at")
+
+    def __init__(
+        self,
+        caller: str,
+        peer: str,
+        in_quorum: bool,
+        rank: Optional[int],
+        n_targets: int,
+        at: float,
+    ):
+        self.caller = caller
+        self.peer = peer
+        self.in_quorum = in_quorum
+        self.rank = rank
+        self.n_targets = n_targets
+        self.at = at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = f"rank {self.rank}" if self.in_quorum else "straggler"
+        return f"<QuorumArrival {self.caller}->{self.peer} {status}/{self.n_targets}>"
 
 
 class WaitRecord:
@@ -87,9 +120,16 @@ class Tracer:
         # stragglers nobody waited on — which is what per-peer slowness
         # detection needs.
         self.rpc_latencies: List[Tuple[str, str, str, float, float]] = []
+        # Per-round quorum arrival outcomes (who made the quorum, who
+        # straggled) reported by quorum waiters at trigger time.
+        self.quorum_arrivals: List[QuorumArrival] = []
         self.spawned = 0
         self.finished = 0
         self._open_waits: Dict[int, Tuple[Event, float]] = {}
+        # Streaming listeners: online detectors subscribe here to consume
+        # trace points live instead of post-processing the record lists.
+        self._rpc_listeners: List[Callable] = []
+        self._quorum_listeners: List[Callable] = []
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -132,6 +172,58 @@ class Tracer:
     ) -> None:
         if self.enabled:
             self.rpc_latencies.append((node, peer, method, latency_ms, now))
+            for listener in self._rpc_listeners:
+                listener(node, peer, method, latency_ms, now)
+
+    def report_quorum_event(self, caller: str, quorum_event, now: float) -> None:
+        """Record arrival ranks for one triggered quorum round.
+
+        Called (via subscription) the moment a QuorumEvent fires: RPC
+        children that triggered acceptably get their 1-based arrival
+        rank; RPC children still outstanding are stragglers the quorum
+        did not wait for. Non-RPC children (e.g. the leader's local WAL
+        fsync) are skipped — ranks describe *peers*.
+        """
+        if not self.enabled:
+            return
+        rpc_targets = [
+            child for child in quorum_event.children if hasattr(child, "to_node")
+        ]
+        n_targets = len(rpc_targets)
+        if n_targets == 0:
+            return
+        arrived = set()
+        rank = 0
+        for child in quorum_event.ok_children:
+            to_node = getattr(child, "to_node", None)
+            if to_node is None:
+                continue
+            rank += 1
+            arrived.add(id(child))
+            self._record_arrival(
+                QuorumArrival(caller, to_node, True, rank, n_targets, now)
+            )
+        for child in rpc_targets:
+            if id(child) not in arrived:
+                self._record_arrival(
+                    QuorumArrival(caller, child.to_node, False, None, n_targets, now)
+                )
+
+    def _record_arrival(self, arrival: QuorumArrival) -> None:
+        self.quorum_arrivals.append(arrival)
+        for listener in self._quorum_listeners:
+            listener(arrival)
+
+    # ------------------------------------------------------------------
+    # Streaming subscriptions (online detectors)
+    # ------------------------------------------------------------------
+    def add_rpc_listener(self, listener: Callable) -> None:
+        """``listener(node, peer, method, latency_ms, now)`` per RPC reply."""
+        self._rpc_listeners.append(listener)
+
+    def add_quorum_listener(self, listener: Callable) -> None:
+        """``listener(arrival: QuorumArrival)`` per quorum-round outcome."""
+        self._quorum_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Queries

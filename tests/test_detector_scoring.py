@@ -1,0 +1,165 @@
+"""Unit + property tests for the streaming per-link slowness scorer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.cluster import Cluster
+from repro.detector.scoring import (
+    LinkScore,
+    PeerHealth,
+    ScoringConfig,
+    SlownessScorer,
+)
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import deploy_depfast_raft, find_leader, wait_for_leader
+from repro.sim.kernel import Kernel
+from repro.trace.tracepoints import Tracer
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+GROUP = ["s1", "s2", "s3"]
+
+latencies = st.lists(
+    st.floats(min_value=0.01, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestLinkScoreProperties:
+    @given(samples=latencies, alpha=st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_ewma_deterministic_and_bounded(self, samples, alpha):
+        a, b = LinkScore("s1", "s2"), LinkScore("s1", "s2")
+        for latency in samples:
+            a.observe_rtt(latency, alpha)
+            b.observe_rtt(latency, alpha)
+        # Same stream, same fold: bit-identical — no hidden state, no
+        # accumulation-order dependence.
+        assert a.rtt_ewma_ms == b.rtt_ewma_ms
+        assert a.samples == b.samples == len(samples)
+        # An exponentially-weighted mean can never escape the sample hull.
+        assert min(samples) <= a.rtt_ewma_ms <= max(samples)
+
+    @given(
+        rounds=st.lists(st.booleans(), min_size=1, max_size=60),
+        alpha=st.floats(min_value=0.01, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_miss_ewma_bounded(self, rounds, alpha):
+        link = LinkScore("s1", "s2")
+        for in_quorum in rounds:
+            link.observe_round(in_quorum, alpha)
+        assert 0.0 <= link.miss_ewma <= 1.0
+        if all(rounds):
+            assert link.miss_ewma == 0.0
+
+    def test_constant_stream_converges_to_constant(self):
+        link = LinkScore("s1", "s2")
+        for _ in range(50):
+            link.observe_rtt(7.5, 0.2)
+        assert link.rtt_ewma_ms == pytest.approx(7.5)
+
+
+class TestScorerHysteresis:
+    def scorer(self, **overrides):
+        config = ScoringConfig(**overrides)
+        return SlownessScorer(Tracer(Kernel()), config)
+
+    def feed(self, scorer, peer_ms):
+        for peer, latency in peer_ms.items():
+            scorer._on_rpc("s1", peer, "append", latency, 0.0)
+
+    def test_slow_link_needs_consecutive_windows(self):
+        scorer = self.scorer(min_samples=4, suspect_windows=3)
+        for _ in range(10):
+            self.feed(scorer, {"s2": 1.0, "s3": 20.0})
+        assert scorer.score("s1", "s3") > 1.0
+        assert scorer.score("s1", "s2") <= 1.0
+        scorer.roll_window(500.0)
+        scorer.roll_window(1000.0)
+        assert scorer.state("s1", "s3") == PeerHealth.HEALTHY  # not yet
+        edges = scorer.roll_window(1500.0)
+        assert scorer.state("s1", "s3") == PeerHealth.SUSPECT
+        assert [(e.peer, e.state) for e in edges] == [("s3", PeerHealth.SUSPECT)]
+        assert scorer.suspects_of("s1") == ["s3"]
+
+    def test_recovered_link_needs_consecutive_clear_windows(self):
+        scorer = self.scorer(min_samples=4, suspect_windows=1, clear_windows=3)
+        for _ in range(10):
+            self.feed(scorer, {"s2": 1.0, "s3": 20.0})
+        scorer.roll_window(500.0)
+        assert scorer.state("s1", "s3") == PeerHealth.SUSPECT
+        # The fault clears; the EWMA decays back toward the baseline.
+        for _ in range(60):
+            self.feed(scorer, {"s2": 1.0, "s3": 1.0})
+        assert scorer.score("s1", "s3") < 1.0
+        scorer.roll_window(1000.0)
+        scorer.roll_window(1500.0)
+        assert scorer.state("s1", "s3") == PeerHealth.SUSPECT  # not yet
+        scorer.roll_window(2000.0)
+        assert scorer.state("s1", "s3") == PeerHealth.HEALTHY
+        # Four transitions were recorded? No: one in, one out.
+        assert len(scorer.transitions) == 2
+
+    def test_unjudged_links_score_zero(self):
+        scorer = self.scorer(min_samples=8)
+        self.feed(scorer, {"s2": 1.0})
+        assert scorer.score("s1", "s2") == 0.0
+        assert scorer.scores_from("s1") == {"s2": 0.0}
+
+
+def _scored_run(seed, fault=None, until_ms=4_000.0):
+    """A short live-cluster run; returns the scorer's full link state."""
+    cluster = Cluster(seed=seed)
+    raft = deploy_depfast_raft(
+        cluster, GROUP, config=RaftConfig(preferred_leader="s1")
+    )
+    scorer = SlownessScorer(cluster.tracer, ScoringConfig())
+    wait_for_leader(cluster, raft)
+    workload = YcsbWorkload(
+        cluster.rng.stream("ycsb"), record_count=1_000, value_size=200
+    )
+    driver = ClosedLoopDriver(cluster, GROUP, workload, n_clients=8)
+    driver.start()
+    if fault is not None:
+        FaultInjector(cluster).inject_at("s3", fault, 1_000.0)
+    t = 0.0
+    while t < until_ms:
+        t += 500.0
+        cluster.run(t)
+        scorer.roll_window(t)
+    leader = find_leader(raft)
+    state = {
+        key: (link.rtt_ewma_ms, link.samples, link.miss_ewma, link.rounds)
+        for key, link in sorted(scorer.links.items())
+    }
+    return scorer, state, leader.id if leader else None
+
+
+class TestScorerOnCluster:
+    @pytest.mark.slow
+    def test_scores_are_deterministic(self):
+        _, state_a, leader_a = _scored_run(seed=11)
+        _, state_b, leader_b = _scored_run(seed=11)
+        # Same seed, same trace stream, bit-identical EWMAs throughout.
+        assert state_a == state_b
+        assert leader_a == leader_b
+        assert state_a  # the run actually produced judged links
+
+    @pytest.mark.slow
+    def test_fault_free_run_has_no_suspects(self):
+        scorer, _state, leader = _scored_run(seed=11, until_ms=6_000.0)
+        assert leader is not None
+        for caller in GROUP:
+            assert scorer.suspects_of(caller) == []
+
+    @pytest.mark.slow
+    def test_slow_follower_flagged_by_leader_links(self):
+        scorer, _state, leader = _scored_run(
+            seed=11, fault="cpu_slow", until_ms=10_000.0
+        )
+        assert leader == "s1"
+        assert scorer.suspects_of("s1") == ["s3"]

@@ -1,0 +1,185 @@
+"""Learner role, conf-change demote/promote, and leadership transfer."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.raft.config import RaftConfig
+from repro.raft.service import (
+    deploy_depfast_raft,
+    find_leader,
+    restart_raft_node,
+    wait_for_leader,
+)
+from repro.raft.types import CONF_DEMOTE, CONF_PROMOTE, Role
+from repro.workload.driver import KvServiceClient
+
+GROUP = ["s1", "s2", "s3"]
+
+
+def deploy(seed=7, **config_kwargs):
+    cluster = Cluster(seed=seed)
+    config = RaftConfig(preferred_leader="s1", **config_kwargs)
+    raft = deploy_depfast_raft(cluster, GROUP, config=config)
+    wait_for_leader(cluster, raft)
+    return cluster, raft
+
+
+def run_client_ops(cluster, ops):
+    node = cluster.add_client(f"cx{cluster.kernel.now:.0f}")
+    node.start()
+    client = KvServiceClient(node, GROUP)
+    results = []
+
+    def script():
+        for op in ops:
+            ok, value = yield from client.execute(op, size_bytes=64)
+            results.append((ok, value))
+
+    node.runtime.spawn(script())
+    cluster.run(until_ms=cluster.kernel.now + 20_000.0)
+    return results
+
+
+def demote(cluster, raft, member, deadline_ms=5_000.0):
+    leader = find_leader(raft)
+    done = leader.propose_conf_change(CONF_DEMOTE, member)
+    assert done is not None
+    cluster.run(cluster.kernel.now + deadline_ms)
+    return leader
+
+
+class TestConfChanges:
+    def test_demote_turns_follower_into_learner_everywhere(self):
+        cluster, raft = deploy()
+        demote(cluster, raft, "s3")
+        assert raft["s3"].role == Role.LEARNER
+        for node_id in GROUP:
+            assert raft[node_id].voting_members == {"s1", "s2"}
+            assert raft[node_id].conf_changes_applied == 1
+        assert find_leader(raft).majority == 2
+
+    def test_promote_restores_voter(self):
+        cluster, raft = deploy()
+        demote(cluster, raft, "s3")
+        leader = find_leader(raft)
+        done = leader.propose_conf_change(CONF_PROMOTE, "s3")
+        assert done is not None
+        cluster.run(cluster.kernel.now + 5_000.0)
+        assert raft["s3"].role == Role.FOLLOWER
+        for node_id in GROUP:
+            assert raft[node_id].voting_members == set(GROUP)
+
+    def test_learner_still_replicates(self):
+        cluster, raft = deploy()
+        demote(cluster, raft, "s3")
+        results = run_client_ops(
+            cluster, [("put", f"k{i}", "v") for i in range(20)]
+        )
+        assert all(ok for ok, _ in results)
+        cluster.run(cluster.kernel.now + 2_000.0)
+        # The learner holds the committed data despite never voting.
+        assert raft["s3"].kv.get("k19") == "v"
+        assert raft["s3"].role == Role.LEARNER
+
+    def test_demoted_learner_never_campaigns(self):
+        cluster, raft = deploy()
+        demote(cluster, raft, "s3")
+        term_before = raft["s3"].term
+        # Kill both voters: the group correctly loses its quorum, and the
+        # learner must NOT step up to fill the vacuum.
+        cluster.node("s1").crash(reason="test")
+        cluster.node("s2").crash(reason="test")
+        cluster.run(cluster.kernel.now + 10_000.0)
+        assert raft["s3"].role == Role.LEARNER
+        assert raft["s3"].term == term_before
+        assert find_leader(raft) is None
+
+    def test_voters_reject_votes_from_non_members_without_term_bump(self):
+        cluster, raft = deploy()
+        demote(cluster, raft, "s3")
+        voter = raft["s2"]
+        term_before = voter.term
+        handler = voter._on_request_vote(
+            {
+                "term": term_before + 10,
+                "candidate": "s3",
+                "last_term": term_before,
+                "last_index": 10_000,
+            },
+            "s3",
+        )
+        # The rejection happens before the handler's first yield, so the
+        # generator finishes immediately with the reply as its value.
+        with pytest.raises(StopIteration) as stop:
+            next(handler)
+        assert stop.value.value == {"term": term_before, "granted": False}
+        # The guard fires before term observation: a rejoining demoted
+        # node must not depose a healthy leader by term inflation.
+        assert voter.term == term_before
+
+    def test_propose_guards(self):
+        cluster, raft = deploy()
+        leader = find_leader(raft)
+        follower = next(raft[n] for n in GROUP if raft[n] is not leader)
+        assert follower.propose_conf_change(CONF_DEMOTE, "s3") is None
+        assert leader.propose_conf_change(CONF_DEMOTE, leader.id) is None
+        assert leader.propose_conf_change(CONF_PROMOTE, "s2") is None
+        assert leader.propose_conf_change(CONF_DEMOTE, "nope") is None
+        with pytest.raises(ValueError):
+            leader.propose_conf_change("evict", "s3")
+        demote(cluster, raft, "s3")
+        assert find_leader(raft).propose_conf_change(CONF_DEMOTE, "s3") is None
+
+    def test_demotion_survives_crash_recovery_via_log_replay(self):
+        cluster, raft = deploy()
+        demote(cluster, raft, "s3")
+        cluster.node("s3").crash(reason="test")
+        cluster.run(cluster.kernel.now + 1_000.0)
+        recovered = restart_raft_node(cluster, raft, "s3")
+        # Fresh traffic makes the leader re-verify the recovered log and
+        # advance its commit index past the replayed demote entry.
+        run_client_ops(cluster, [("put", "after", "restart")])
+        cluster.run(cluster.kernel.now + 2_000.0)
+        # Applying the replayed conf change tells the node it is a
+        # learner, not a voter.
+        assert recovered.role == Role.LEARNER
+        assert recovered.voting_members == {"s1", "s2"}
+
+
+class TestInitialVoters:
+    def test_unlisted_member_starts_as_learner(self):
+        cluster = Cluster(seed=7)
+        config = RaftConfig(preferred_leader="s1", initial_voters=["s1", "s2"])
+        raft = deploy_depfast_raft(cluster, GROUP, config=config)
+        leader = wait_for_leader(cluster, raft)
+        assert leader.id in ("s1", "s2")
+        assert raft["s3"].role == Role.LEARNER
+        assert leader.majority == 2
+
+    def test_empty_initial_voters_rejected(self):
+        with pytest.raises(ValueError):
+            RaftConfig(initial_voters=[])
+
+
+class TestLeadershipTransfer:
+    def test_transfer_moves_leadership_to_target(self):
+        cluster, raft = deploy()
+        old = find_leader(raft)
+        assert old.id == "s1"
+        assert old.transfer_leadership("s2")
+        cluster.run(cluster.kernel.now + 3_000.0)
+        new = find_leader(raft)
+        assert new is not None
+        assert new.id == "s2"
+        assert raft["s1"].role == Role.FOLLOWER
+        assert old.leadership_transfers == 1
+
+    def test_transfer_guards(self):
+        cluster, raft = deploy()
+        leader = find_leader(raft)
+        follower = next(raft[n] for n in GROUP if raft[n] is not leader)
+        assert not follower.transfer_leadership("s1")
+        assert not leader.transfer_leadership(leader.id)
+        assert not leader.transfer_leadership("nope")
+        demote(cluster, raft, "s3")
+        assert not find_leader(raft).transfer_leadership("s3")
