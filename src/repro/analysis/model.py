@@ -76,6 +76,13 @@ RULES: Dict[str, Rule] = {
             "loop with no wait point and no way to make progress: busy-waits "
             "and starves the cooperative scheduler",
         ),
+        Rule(
+            "DF007",
+            WARNING,
+            "fire-and-forget-hedge",
+            "hedged/duplicated send with no cancellation path: losing copies "
+            "run to completion and re-impose the straggler's cost",
+        ),
     )
 }
 

@@ -1,4 +1,4 @@
-"""The depfast-lint rule engine: six static fail-slow tolerance rules.
+"""The depfast-lint rule engine: seven static fail-slow tolerance rules.
 
 Each rule turns one anti-pattern from the paper's §3.1 discussion into a
 compile-time finding:
@@ -16,6 +16,11 @@ compile-time finding:
   all-wait; every straggler is on the critical path.
 * **DF006 yield-starvation** — a loop with no wait point whose condition
   the body cannot change: a busy-wait that starves cooperative peers.
+* **DF007 fire-and-forget-hedge** — duplicated sends with no cancellation
+  path: a ``HedgedCall`` that opts out of loser cancellation, or a loop
+  that fires ``endpoint.call`` copies and drops the returned events. The
+  hedge's whole bargain is "race, then cancel the losers" — without the
+  cancel, every duplicate re-imposes the straggler's cost.
 
 Rules only fire on *resolved* facts; expressions the data-flow pass could
 not identify never produce findings.
@@ -79,6 +84,7 @@ def _scan_findings(scan: ModuleScan) -> List[Finding]:
             findings.extend(_df006_starving_loops(scan, func, node))
         findings.extend(_df004_event_leaks(scan, func, node))
         findings.extend(_df005_tight_quorums(scan, func, node))
+        findings.extend(_df007_fire_and_forget_hedges(scan, func, node))
     # Apply suppressions.
     for finding in findings:
         if scan.suppressions.allows(finding.rule_id, finding.lineno):
@@ -344,3 +350,78 @@ def _dotted_names(expr: ast.AST) -> Set[str]:
         if dotted is not None:
             names.add(dotted)
     return names
+
+
+# ---------------------------------------------------------------------------
+# DF007 — uncancellable hedges (fire-and-forget duplicates)
+# ---------------------------------------------------------------------------
+
+# Constructors that configure hedged/duplicated sends; ``cancel_losers=False``
+# on either disables the cancellation half of the race.
+_HEDGE_CONSTRUCTORS = {"HedgedCall", "HedgePolicy"}
+
+
+def _df007_fire_and_forget_hedges(
+    scan: ModuleScan, func, node: ast.AST
+) -> List[Finding]:
+    findings = []
+    seen: Set[tuple] = set()
+
+    def emit(lineno: int, col: int, message: str) -> None:
+        if (lineno, col) in seen:
+            return
+        seen.add((lineno, col))
+        findings.append(
+            Finding(
+                rule_id="DF007",
+                path=scan.path,
+                lineno=lineno,
+                col=col,
+                qualname=func.qualname,
+                message=message,
+            )
+        )
+
+    for child in _iter_own_nodes(node):
+        if isinstance(child, ast.Call):
+            name = _call_name(child.func)
+            if name in _HEDGE_CONSTRUCTORS and _kwarg_is_false(
+                child, "cancel_losers"
+            ):
+                emit(
+                    child.lineno,
+                    child.col_offset,
+                    f"{name}(cancel_losers=False) leaves losing duplicates "
+                    "running: the straggler's copy is paid in full even "
+                    "after a winner replies — keep loser cancellation on, "
+                    "or don't hedge",
+                )
+        if isinstance(child, (ast.For, ast.While)):
+            for stmt in ast.walk(child):
+                if not isinstance(stmt, ast.Expr) or not isinstance(
+                    stmt.value, ast.Call
+                ):
+                    continue
+                call = stmt.value
+                if _call_name(call.func) == "call" and len(call.args) >= 2:
+                    emit(
+                        call.lineno,
+                        call.col_offset,
+                        "duplicated send discards its RpcEvent: a "
+                        "fire-and-forget copy has no cancellation path, so "
+                        "the duplicates keep loading the slow link after a "
+                        "winner replies — keep the handle and cancel_send() "
+                        "the losers",
+                    )
+    return findings
+
+
+def _kwarg_is_false(call: ast.Call, name: str) -> bool:
+    for keyword in call.keywords:
+        if (
+            keyword.arg == name
+            and isinstance(keyword.value, ast.Constant)
+            and keyword.value.value is False
+        ):
+            return True
+    return False

@@ -107,6 +107,13 @@ def _run_rsm_scenario(
         from repro.raft.service import deploy_depfast_raft
 
         deploy_depfast_raft(cluster, group, config=RaftConfig(preferred_leader="s1"))
+    elif scenario == "hedged":
+        from repro.hedging import deploy_hedged_raft
+        from repro.raft.config import RaftConfig
+
+        # Hedge timers and the P² delay estimator both run off the seeded
+        # kernel clock, so the racing path is pinned like everything else.
+        deploy_hedged_raft(cluster, group, config=RaftConfig(preferred_leader="s1"))
     elif scenario == "paxos":
         from repro.paxos import PaxosConfig, deploy_paxos
 
@@ -194,6 +201,7 @@ def _run_chaos_scenario(
 
 SCENARIOS: Dict[str, Callable[..., TraceDigest]] = {
     "raft": _run_rsm_scenario,
+    "hedged": _run_rsm_scenario,
     "paxos": _run_rsm_scenario,
     "chain": _run_rsm_scenario,
     "chaos": _run_chaos_scenario,

@@ -9,8 +9,9 @@ Usage::
     python -m repro experiment --system depfast --fault cpu_slow
     python -m repro chaos [--seed N] [--seeds 20] [--group-sizes 3 5]
     python -m repro mitigate [--smoke] [--seed N] [--faults cpu_slow ...]
+    python -m repro hedge [--smoke] [--seed N] [--faults cpu_slow ...]
     python -m repro lint [paths] [--format text|json] [--strict]
-    python -m repro profile <raft|paxos|chain|chaos|microbench> [--seed N]
+    python -m repro profile <raft|hedged|paxos|chain|chaos|microbench> [--seed N]
 
 ``--smoke`` runs a shortened profile (shapes, not magnitudes); the default
 is the full paper profile used by EXPERIMENTS.md. ``lint`` runs the static
@@ -130,6 +131,34 @@ def _cmd_mitigate(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_hedge(args) -> int:
+    from repro.bench.hedging import (
+        MATRIX_FAULTS,
+        SMOKE_FAULTS,
+        HedgingParams,
+        render_hedging_matrix,
+        run_hedging_matrix,
+        smoke_params,
+    )
+
+    unknown = [fault for fault in args.faults if fault not in MATRIX_FAULTS]
+    if unknown:
+        print(
+            f"hedge: unknown fault(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(MATRIX_FAULTS)})"
+        )
+        return 2
+    if args.smoke:
+        params = smoke_params()
+        faults = args.faults or SMOKE_FAULTS
+    else:
+        params = HedgingParams()
+        faults = args.faults or None
+    result = run_hedging_matrix(faults=faults, seed=args.seed, params=params)
+    print(render_hedging_matrix(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_profile(args) -> int:
     from repro.bench import profile as prof
 
@@ -219,12 +248,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mitigate.set_defaults(func=_cmd_mitigate)
 
+    hedge = sub.add_parser(
+        "hedge",
+        help="hedging matrix: four fail-slow defenses raced across follower faults",
+    )
+    hedge.add_argument("--seed", type=int, default=7)
+    hedge.add_argument("--smoke", action="store_true", help="shortened CI profile")
+    hedge.add_argument(
+        "--faults",
+        nargs="*",
+        default=[],
+        help="subset of Table 1 faults to run (default: the full matrix)",
+    )
+    hedge.set_defaults(func=_cmd_hedge)
+
     prof = sub.add_parser(
         "profile", help="virtual-time profiler: events/wall-second per scenario"
     )
     prof.add_argument(
         "scenario",
-        choices=("raft", "paxos", "chain", "chaos", "microbench"),
+        choices=("raft", "hedged", "paxos", "chain", "chaos", "microbench"),
         help="seeded scenario to profile, or the bare kernel microbench",
     )
     prof.add_argument("--seed", type=int, default=42)

@@ -1,0 +1,32 @@
+"""Hedged & speculative execution: the rival fail-slow defense.
+
+Where DepFast's quorum events *wait out* a straggler (proceed on the
+fastest quorum, discard the rest), hedging *races* it: send the primary
+request, arm a timer at the observed P-th percentile of that link's
+latency, and fire duplicate copies to other replicas if the primary has
+not answered in time. First acceptable reply wins; losers are cancelled
+client-side (send-buffer discard) and server-side (dedup/abort hook in
+:class:`repro.net.rpc.RpcEndpoint`).
+
+The package exists to put both bets side by side on the same faults:
+
+- :mod:`repro.hedging.estimator` — per-link streaming latency
+  percentiles (P² quantile), fed from the tracer's RPC trace points.
+- :mod:`repro.hedging.hedge` — :class:`HedgedCall`, the racing analog of
+  :class:`repro.net.rpc.QuorumCall`, plus :class:`HedgePolicy`.
+- :mod:`repro.hedging.raft` — :class:`HedgedRaftNode`: hedged
+  AppendEntries fan-out and speculative leader reads with
+  rollback-on-term-change.
+"""
+
+from repro.hedging.estimator import HedgeDelayEstimator
+from repro.hedging.hedge import HedgedCall, HedgePolicy
+from repro.hedging.raft import HedgedRaftNode, deploy_hedged_raft
+
+__all__ = [
+    "HedgeDelayEstimator",
+    "HedgedCall",
+    "HedgePolicy",
+    "HedgedRaftNode",
+    "deploy_hedged_raft",
+]

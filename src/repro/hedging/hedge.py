@@ -1,0 +1,233 @@
+"""``HedgedCall``: race duplicate requests instead of waiting out a straggler.
+
+The racing analog of :class:`repro.net.rpc.QuorumCall`. A quorum call
+broadcasts to everyone up front and lets the framework *discard* work the
+moment enough replies are in; a hedged call sends to the ``quorum``
+preferred targets only, arms a timer at the observed P-th percentile of
+those links' latency, and fires duplicate copies to the remaining targets
+one at a time if the first wave is late. The race is decided when
+``quorum`` acceptable replies arrive; losers are cancelled through the
+idempotent ``cancel_send`` path (still buffered) or a server-side abort
+(already on the wire).
+
+Both primitives end at the same safety point — the caller proceeds on
+``quorum`` acceptable replies — but make opposite bets on the tail:
+quorum events pay full fan-out up front and never wait on a straggler;
+hedged calls pay minimal fan-out up front and bet the timer fires rarely.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.events.basic import RpcEvent
+from repro.events.compound import QuorumEvent
+from repro.hedging.estimator import HedgeDelayEstimator
+from repro.net.rpc import RpcEndpoint, RpcError, is_hedge_abort_reply
+
+# Caller-unique hedge group keys (monotonic like message ids; only
+# equality matters, so the shared counter keeps runs deterministic).
+_hedge_groups = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class HedgePolicy:
+    """Knobs for when and how aggressively to hedge.
+
+    ``percentile`` is the hedge trigger point: fire a duplicate once the
+    primary has been outstanding longer than this fraction of that
+    link's observed latency distribution (Dean & Barroso use ~P95, which
+    bounds duplicate work at ~5% of requests in the fault-free case).
+    ``max_hedges`` caps duplicates per call; ``cancel_losers`` is the
+    half of the defense DF007 lints for — without it every race leaks
+    the loser's execution and bandwidth.
+    """
+
+    percentile: float = 0.95
+    max_hedges: int = 1
+    warmup_observations: int = 10
+    default_delay_ms: float = 25.0
+    min_delay_ms: float = 1.0
+    max_delay_ms: float = 250.0
+    cancel_losers: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.percentile < 1.0:
+            raise ValueError(f"percentile must be in (0, 1), got {self.percentile}")
+        if self.max_hedges < 0:
+            raise ValueError(f"negative max_hedges {self.max_hedges}")
+        if self.min_delay_ms < 0 or self.max_delay_ms < self.min_delay_ms:
+            raise ValueError(
+                f"bad delay clamp [{self.min_delay_ms}, {self.max_delay_ms}]"
+            )
+
+    def make_estimator(self) -> HedgeDelayEstimator:
+        return HedgeDelayEstimator(
+            percentile=self.percentile,
+            warmup_observations=self.warmup_observations,
+            default_delay_ms=self.default_delay_ms,
+            min_delay_ms=self.min_delay_ms,
+            max_delay_ms=self.max_delay_ms,
+        )
+
+
+class HedgedCall:
+    """Send to the preferred targets, race stragglers, cancel losers.
+
+    ``targets`` is a preference order: the first ``quorum`` entries get
+    the request immediately, later entries are hedge candidates in
+    order. All copies share one ``hedge_group`` key so the receiving
+    endpoints execute the request at most once per server and honor
+    abort notifications once the race is decided.
+
+    Wait on ``.event`` (a 1-of-n or k-of-n :class:`QuorumEvent`);
+    ``replies()``/``reply`` expose the winning payload(s).
+    """
+
+    def __init__(
+        self,
+        endpoint: RpcEndpoint,
+        targets: Sequence[str],
+        method: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+        quorum: int = 1,
+        classify: Optional[Callable[[RpcEvent], bool]] = None,
+        policy: Optional[HedgePolicy] = None,
+        estimator: Optional[HedgeDelayEstimator] = None,
+        name: str = "",
+    ):
+        if not targets:
+            raise RpcError("hedged call needs at least one target")
+        if quorum > len(targets):
+            raise RpcError(f"quorum {quorum} > {len(targets)} targets")
+        self.endpoint = endpoint
+        self.targets = list(targets)
+        self.method = method
+        self.payload = payload
+        self.size_bytes = size_bytes
+        self.policy = policy or HedgePolicy()
+        self.estimator = estimator
+        self.group = (endpoint.node, method, next(_hedge_groups))
+        self.calls: List[RpcEvent] = []
+        self.hedges_sent = 0
+        self.losers_cancelled = 0
+        self.winner: Optional[RpcEvent] = None
+        self._decided = False
+        self._timer = None
+        self.event = QuorumEvent(
+            quorum,
+            n_total=len(self.targets),
+            classify=self._wrap_classifier(classify),
+            name=name or f"hedge:{method}",
+        )
+        first_wave = self.targets[:quorum]
+        for target in first_wave:
+            self._send(target)
+        self.event.subscribe(self._on_decided)
+        tracer = getattr(endpoint.runtime.scheduler, "tracer", None)
+        if tracer is not None:
+            # Same §5 trace point QuorumCall feeds: arrival ranks over
+            # the racers show the SPG (and the fail-slow scorer) exactly
+            # where hedging re-introduces a wait on a slow node.
+            self.event.subscribe(
+                lambda ev, _t=tracer: _t.report_quorum_event(
+                    endpoint.node, ev, endpoint.runtime.now
+                )
+            )
+        self._arm(first_wave)
+
+    # ------------------------------------------------------------------
+    # Race machinery
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _wrap_classifier(
+        classify: Optional[Callable[[RpcEvent], bool]]
+    ) -> Callable[[RpcEvent], bool]:
+        def accept(rpc_event: RpcEvent) -> bool:
+            if not rpc_event.ok or is_hedge_abort_reply(rpc_event.reply):
+                return False
+            return classify is None or classify(rpc_event)
+
+        return accept
+
+    def _send(self, target: str) -> RpcEvent:
+        rpc_event = self.endpoint.call(
+            target,
+            self.method,
+            self.payload,
+            self.size_bytes,
+            hedge_group=self.group,
+        )
+        self.calls.append(rpc_event)
+        self.event.add(rpc_event)
+        return rpc_event
+
+    def _delay_for(self, just_sent: Sequence[str]) -> float:
+        if self.estimator is None:
+            return self.policy.default_delay_ms
+        # Wait out the *slowest expectation* in the outstanding wave:
+        # hedging before the worst of the normal cases is just broadcast.
+        return max(
+            self.estimator.delay_ms(self.endpoint.node, target)
+            for target in just_sent
+        )
+
+    def _arm(self, just_sent: Sequence[str]) -> None:
+        if self._decided or self.hedges_sent >= self.policy.max_hedges:
+            return
+        if len(self.calls) >= len(self.targets):
+            return  # nobody left to race
+        delay_ms = self._delay_for(just_sent)
+        kernel = self.endpoint.runtime.kernel
+        self._timer = kernel.schedule(delay_ms, self._fire_hedge)
+
+    def _fire_hedge(self) -> None:
+        self._timer = None
+        if self._decided or self.event.ready():
+            return
+        target = self.targets[len(self.calls)]
+        self.hedges_sent += 1
+        rpc_event = self._send(target)
+        if not rpc_event.ready():  # instant send-buffer failures don't re-arm
+            self._arm([target])
+
+    def _on_decided(self, _event) -> None:
+        if self._decided:
+            return
+        self._decided = True
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.event.ok_children:
+            self.winner = self.event.ok_children[0]
+        if not self.policy.cancel_losers:
+            return
+        for rpc_event in self.calls:
+            if rpc_event.ready():
+                continue
+            self.losers_cancelled += 1
+            if rpc_event.cancel_send is not None and rpc_event.cancel_send():
+                continue  # died in our own send buffer; no server copy exists
+            # Already on the wire: the server drops the copy before
+            # execution and answers with an abort-ack, which both cleans
+            # the pending table and feeds the loser's true latency to
+            # the estimator.
+            self.endpoint.abort_hedge_group(rpc_event.to_node, self.group)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def reply(self) -> Any:
+        """Payload of the race winner (None until decided)."""
+        return None if self.winner is None else self.winner.reply
+
+    def replies(self) -> List[Any]:
+        """Payloads of the acceptably-completed calls so far."""
+        return [rpc_event.reply for rpc_event in self.event.ok_children]
+
+    def wait(self, timeout_ms: Optional[float] = None):
+        return self.event.wait(timeout_ms)

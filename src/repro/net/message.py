@@ -30,6 +30,7 @@ class Message:
         "reply_to",
         "sent_at",
         "delivered_at",
+        "hedge_group",
     )
 
     def __init__(
@@ -40,6 +41,7 @@ class Message:
         payload: Any = None,
         size_bytes: int = 0,
         reply_to: Optional[int] = None,
+        hedge_group: Optional[tuple] = None,
     ):
         if size_bytes < 0:
             raise ValueError(f"negative message size {size_bytes}")
@@ -52,6 +54,9 @@ class Message:
         self.reply_to = reply_to
         self.sent_at: Optional[float] = None
         self.delivered_at: Optional[float] = None
+        # Hedged/duplicated requests share a caller-unique group key so the
+        # receiving endpoint can deduplicate copies and honor aborts.
+        self.hedge_group = hedge_group
 
     @property
     def is_reply(self) -> bool:

@@ -14,8 +14,8 @@ messages for slow connections once the quorum is in.
 
 from __future__ import annotations
 
-from functools import partial
-from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.events.basic import RpcEvent
 from repro.events.compound import QuorumEvent
@@ -35,9 +35,65 @@ Handler = Callable[[Any, str], Generator]
 # point, as intended.
 DEFAULT_PARSE_COST_MS = 0.01
 
+# One-way control message: "the hedge race for this group is decided —
+# drop copies you have not executed yet". Intercepted by the endpoint
+# before handler dispatch.
+HEDGE_ABORT_METHOD = "__hedge_abort__"
+
+# Bound on the per-endpoint hedge bookkeeping (dedup replies + abort
+# marks). FIFO eviction: hedge races are decided within an RPC timeout,
+# so old entries are dead weight long before the cap bites.
+HEDGE_CACHE_LIMIT = 512
+
+# Reply payload for a hedge copy dropped before execution. Answering
+# (rather than staying silent) keeps the caller's pending-reply table
+# clean and — crucially — lets the loser's true round-trip time reach
+# the latency estimator: silent drops would hide exactly the slow
+# samples hedging needs to see.
+HEDGE_ABORTED_REPLY = {"hedge_aborted": True}
+
+
+def is_hedge_abort_reply(payload: Any) -> bool:
+    """True for the ack a server sends instead of executing an aborted copy."""
+    return isinstance(payload, dict) and payload.get("hedge_aborted") is True
+
 
 class RpcError(RuntimeError):
     """RPC-layer failure (unknown method, send failure, ...)."""
+
+
+class _CancelHandle:
+    """Idempotent ``cancel_send`` for one outbound request.
+
+    A request can be cancelled from more than one place — a QuorumCall's
+    straggler discard, a batcher's outstanding-discard and a HedgedCall's
+    loser cancellation may all target the same RPC. The first call does
+    the buffer discard; later calls return the recorded outcome without
+    rescanning the send queue (the scan is O(queued messages)).
+
+    A successful discard also retires the endpoint's pending-reply entry:
+    the request died in the send buffer, so no reply will ever arrive to
+    clean that entry up, and it would otherwise leak for the rest of the
+    run.
+    """
+
+    __slots__ = ("_endpoint", "_connection", "msg_id", "called", "dropped")
+
+    def __init__(self, endpoint: "RpcEndpoint", connection, msg_id: int):
+        self._endpoint = endpoint
+        self._connection = connection
+        self.msg_id = msg_id
+        self.called = False
+        self.dropped = False
+
+    def __call__(self) -> bool:
+        if self.called:
+            return self.dropped
+        self.called = True
+        self.dropped = self._connection.discard(self.msg_id)
+        if self.dropped:
+            self._endpoint._pending.pop(self.msg_id, None)
+        return self.dropped
 
 
 class RpcEndpoint:
@@ -61,6 +117,16 @@ class RpcEndpoint:
         self._pending: Dict[int, RpcEvent] = {}
         self._started = False
         self.requests_handled = 0
+        # Server-side hedge bookkeeping (§ hedged execution): completed
+        # hedge groups cache their reply so a duplicate copy answers
+        # without re-executing; aborted groups drop unexecuted copies.
+        self._hedge_done: "OrderedDict[Tuple, Any]" = OrderedDict()
+        self._hedge_aborted: "OrderedDict[Tuple, None]" = OrderedDict()
+        # Groups whose handler is mid-execution: copies arriving in the
+        # window park here and are answered from the one result.
+        self._hedge_inflight: Dict[Tuple, List[Message]] = {}
+        self.hedges_deduped = 0
+        self.hedges_aborted = 0
 
     # ------------------------------------------------------------------
     # Setup
@@ -84,21 +150,45 @@ class RpcEndpoint:
     # Calls
     # ------------------------------------------------------------------
     def call(
-        self, target: str, method: str, payload: Any = None, size_bytes: int = 0
+        self,
+        target: str,
+        method: str,
+        payload: Any = None,
+        size_bytes: int = 0,
+        hedge_group: Optional[Tuple] = None,
     ) -> RpcEvent:
-        """Issue one RPC; returns the event to wait on."""
-        message = Message(self.node, target, method, payload, size_bytes)
+        """Issue one RPC; returns the event to wait on.
+
+        ``hedge_group`` marks this request as one copy of a hedged send:
+        the receiving endpoint deduplicates copies sharing the key and
+        honors abort notifications for the group.
+        """
+        message = Message(
+            self.node, target, method, payload, size_bytes, hedge_group=hedge_group
+        )
         event = RpcEvent(method, to_node=target)
         event.issued_at = self.runtime.now
         self._pending[message.msg_id] = event
         connection = self.network.connection(self.node, target)
-        event.cancel_send = partial(connection.discard, message.msg_id)
+        event.cancel_send = _CancelHandle(self, connection, message.msg_id)
         try:
             connection.send(message)
         except BufferOverflowError as exc:
             del self._pending[message.msg_id]
             event.fail(f"send buffer overflow: {exc}", now=self.runtime.now)
         return event
+
+    def abort_hedge_group(self, target: str, hedge_group: Tuple) -> None:
+        """Tell ``target`` the race for ``hedge_group`` is decided (one-way)."""
+        self.notify(target, HEDGE_ABORT_METHOD, hedge_group, size_bytes=16)
+
+    def forget_call(self, event: RpcEvent) -> None:
+        """Drop the pending-reply entry for a call whose reply will never
+        be consumed (hedge losers whose server-side copy was aborted —
+        without this the entry would leak for the rest of the run)."""
+        handle = event.cancel_send
+        if isinstance(handle, _CancelHandle):
+            self._pending.pop(handle.msg_id, None)
 
     def notify(
         self, target: str, method: str, payload: Any = None, size_bytes: int = 0
@@ -139,11 +229,45 @@ class RpcEndpoint:
         # else: caller moved on (timeout); late reply is dropped.
 
     def _handle(self, message: Message) -> Generator:
+        if message.method == HEDGE_ABORT_METHOD:
+            self._mark_hedge_aborted(message.payload)
+            return
+        group = message.hedge_group
+        if group is not None:
+            # Server-side hedge hook: a copy whose race was already
+            # decided is dropped before execution; a copy whose sibling
+            # already executed answers from the cached reply — the
+            # handler (and its WAL/CPU cost) runs at most once per group.
+            if group in self._hedge_aborted:
+                self.hedges_aborted += 1
+                self._send_reply(message, HEDGE_ABORTED_REPLY)
+                return
+            if group in self._hedge_done:
+                self.hedges_deduped += 1
+                self._send_reply(message, self._hedge_done[group])
+                return
+            waiters = self._hedge_inflight.get(group)
+            if waiters is not None:
+                # A sibling copy is executing right now: park this one
+                # and answer it from that execution's result.
+                self.hedges_deduped += 1
+                waiters.append(message)
+                return
+            self._hedge_inflight[group] = []
         handler = self.handlers.get(message.method)
         if handler is None:
             raise RpcError(f"{self.node}: no handler for {message.method!r}")
         reply_payload = yield from handler(message.payload, message.src)
         self.requests_handled += 1
+        if group is not None:
+            self._hedge_done[group] = reply_payload
+            while len(self._hedge_done) > HEDGE_CACHE_LIMIT:
+                self._hedge_done.popitem(last=False)
+            for parked in self._hedge_inflight.pop(group, ()):
+                self._send_reply(parked, reply_payload)
+        self._send_reply(message, reply_payload)
+
+    def _send_reply(self, message: Message, reply_payload: Any) -> None:
         if reply_payload is None:
             return
         reply = Message(
@@ -155,6 +279,13 @@ class RpcEndpoint:
             reply_to=message.msg_id,
         )
         self.network.send(reply)
+
+    def _mark_hedge_aborted(self, group: Tuple) -> None:
+        if group in self._hedge_done or group in self._hedge_inflight:
+            return  # already executed (or executing); nothing left to abort
+        self._hedge_aborted[group] = None
+        while len(self._hedge_aborted) > HEDGE_CACHE_LIMIT:
+            self._hedge_aborted.popitem(last=False)
 
 
 class RpcProxy:

@@ -423,7 +423,7 @@ class RaftNode:
                 voter = peer in self.voting_members
                 if peer not in self._repairing and self._sent_index[peer] == first - 1:
                     self._sent_index[peer] = last
-                    rpc = self._send_append(peer, first - 1, entries, term)
+                    rpc = self._send_batch_append(peer, first - 1, entries, term)
                     if voter:
                         quorum.add(rpc)
                 else:
@@ -471,8 +471,25 @@ class RaftNode:
             if isinstance(child, RpcEvent) and child.cancel_send is not None:
                 child.cancel_send()
 
-    def _send_append(
+    def _send_batch_append(
         self, peer: str, prev_index: int, entries: List[LogEntry], term: int
+    ) -> RpcEvent:
+        """Critical-path replication send from the batcher.
+
+        Hook point for hedged variants (``repro.hedging``): they tag the
+        send with a hedge group and race a duplicate copy at the link's
+        latency percentile. Plain DepFastRaft never hedges — the quorum
+        event already decouples the commit from stragglers.
+        """
+        return self._send_append(peer, prev_index, entries, term)
+
+    def _send_append(
+        self,
+        peer: str,
+        prev_index: int,
+        entries: List[LogEntry],
+        term: int,
+        hedge_group: Optional[Tuple] = None,
     ) -> RpcEvent:
         payload = {
             "term": term,
@@ -484,7 +501,11 @@ class RaftNode:
         }
         last_sent = entries[-1].index if entries else prev_index
         rpc = self.ep.call(
-            peer, "append_entries", payload, size_bytes=entries_size(entries) + 64
+            peer,
+            "append_entries",
+            payload,
+            size_bytes=entries_size(entries) + 64,
+            hedge_group=hedge_group,
         )
         rpc.subscribe(
             lambda ev, _peer=peer, _last=last_sent, _term=term: self._on_append_reply(

@@ -9,6 +9,7 @@ how the paper reports steady-state YCSB numbers.
 from __future__ import annotations
 
 import math
+from bisect import insort
 from typing import Dict, List, Optional, Tuple
 
 
@@ -81,44 +82,80 @@ class LatencyRecorder:
     steady-state operations are reported.
 
     Recording is O(1): exact count/sum/min/max are maintained as running
-    aggregates on every call. ``sample_stride=n`` keeps only every n-th
+    aggregates. ``sample_stride=n`` keeps only every n-th
     raw sample (deterministically — no RNG involved), bounding memory for
     long runs; count/mean/min/max stay exact over *all* recorded samples,
     while percentiles (and any explicitly windowed statistics) are then
     computed over the retained subsample. The default stride of 1 retains
     everything and is bit-for-bit identical to the pre-sampling recorder.
+
+    Recording is *batched*: :meth:`record` only appends to a pending
+    buffer (one list append on the hot path — this recorder sits behind
+    per-RPC trace points), and the aggregate fold (count/sum/min/max,
+    stride retention) runs lazily at the first read. The fold preserves
+    arrival order, so every statistic is bit-for-bit identical to the
+    eager per-record update.
     """
 
     def __init__(self, name: str = "", sample_stride: int = 1):
         if sample_stride < 1:
             raise ValueError(f"sample_stride must be >= 1, got {sample_stride}")
         self.name = name
-        self.sample_stride = sample_stride
+        self._stride = sample_stride
+        self._pending: List[Tuple[float, float]] = []
         self._samples: List[Tuple[float, float]] = []
         self._n = 0
         self._sum = 0.0
         self._min = math.inf
         self._max = 0.0
 
+    @property
+    def sample_stride(self) -> int:
+        return self._stride
+
+    @sample_stride.setter
+    def sample_stride(self, stride: int) -> None:
+        if stride < 1:
+            raise ValueError(f"sample_stride must be >= 1, got {stride}")
+        # Flush under the old stride first: already-recorded samples keep
+        # the retention pattern that was in force when they arrived.
+        self._flush()
+        self._stride = stride
+
     def record(self, completed_at: float, latency_ms: float) -> None:
         if latency_ms < 0:
             raise ValueError(f"negative latency {latency_ms}")
-        self._n += 1
-        self._sum += latency_ms
-        if latency_ms < self._min:
-            self._min = latency_ms
-        if latency_ms > self._max:
-            self._max = latency_ms
-        if self.sample_stride == 1 or self._n % self.sample_stride == 1:
-            self._samples.append((completed_at, latency_ms))
+        self._pending.append((completed_at, latency_ms))
+
+    def _flush(self) -> None:
+        """Fold the pending batch into the running aggregates, in order."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, []
+        n, total, minimum, maximum = self._n, self._sum, self._min, self._max
+        stride = self._stride
+        samples = self._samples
+        for item in pending:
+            latency = item[1]
+            n += 1
+            total += latency
+            if latency < minimum:
+                minimum = latency
+            if latency > maximum:
+                maximum = latency
+            if stride == 1 or n % stride == 1:
+                samples.append(item)
+        self._n, self._sum, self._min, self._max = n, total, minimum, maximum
 
     def count(self) -> int:
         """Exact number of recorded samples (including ones not retained)."""
+        self._flush()
         return self._n
 
     def in_window(
         self, window_start: float = 0.0, window_end: float = math.inf
     ) -> List[float]:
+        self._flush()
         return [
             latency
             for completed_at, latency in self._samples
@@ -138,7 +175,7 @@ class LatencyRecorder:
     def summary(
         self, window_start: float = 0.0, window_end: float = math.inf
     ) -> "LatencySummary":
-        values = self.in_window(window_start, window_end)
+        values = self.in_window(window_start, window_end)  # flushes pending
         if not values:
             return LatencySummary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
         ordered = sorted(values)
@@ -191,6 +228,98 @@ class LatencySummary:
             f"<LatencySummary n={self.count} mean={self.mean:.2f}ms "
             f"p50={self.p50:.2f}ms p99={self.p99:.2f}ms>"
         )
+
+
+class P2Quantile:
+    """Streaming quantile estimate: the P² algorithm (Jain & Chlamtac '85).
+
+    Tracks one quantile ``p`` in (0, 1) with five markers in O(1) space
+    and O(1) per observation — no stored samples, no sorting, no RNG —
+    so it is cheap enough to key one estimator per network link and feed
+    it from the per-RPC trace points, and deterministic enough to live
+    inside the seeded simulation (hedge delays derived from it replay
+    bit-for-bit).
+
+    Until five observations arrive the exact nearest-rank quantile of
+    the observed values is returned; after that the marker invariants
+    take over and :meth:`value` is the P² estimate.
+    """
+
+    __slots__ = ("p", "count", "_q", "_n", "_np", "_dn")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self.count = 0
+        self._q: List[float] = []  # marker heights (sorted)
+        self._n = [0, 1, 2, 3, 4]  # actual marker positions
+        self._np = [0.0, 2.0 * p, 4.0 * p, 2.0 + 2.0 * p, 4.0]  # desired
+        self._dn = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]  # increments
+
+    def observe(self, x: float) -> None:
+        self.count += 1
+        q = self._q
+        if self.count <= 5:
+            insort(q, x)
+            return
+        n, np_, dn = self._n, self._np, self._dn
+        # Locate the cell containing x, updating the extremes in place.
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = x
+            k = 3
+        else:
+            k = 3
+            for i in range(1, 5):
+                if x < q[i]:
+                    k = i - 1
+                    break
+        for i in range(k + 1, 5):
+            n[i] += 1
+        for i in range(5):
+            np_[i] += dn[i]
+        # Nudge the three interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            delta = np_[i] - n[i]
+            if (delta >= 1.0 and n[i + 1] - n[i] > 1) or (
+                delta <= -1.0 and n[i - 1] - n[i] < -1
+            ):
+                step = 1 if delta >= 0.0 else -1
+                candidate = self._parabolic(i, step)
+                if not q[i - 1] < candidate < q[i + 1]:
+                    candidate = self._linear(i, step)
+                q[i] = candidate
+                n[i] += step
+
+    def _parabolic(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + step)
+            * (q[i + 1] - q[i])
+            / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - step)
+            * (q[i] - q[i - 1])
+            / (n[i] - n[i - 1])
+        )
+
+    def _linear(self, i: int, step: int) -> float:
+        q, n = self._q, self._n
+        return q[i] + step * (q[i + step] - q[i]) / (n[i + step] - n[i])
+
+    def value(self) -> float:
+        """Current quantile estimate (0.0 before any observation)."""
+        if self.count == 0:
+            return 0.0
+        if self.count <= 5:
+            rank = max(1, math.ceil(self.p * len(self._q)))
+            return self._q[rank - 1]
+        return self._q[2]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<P2Quantile p={self.p} n={self.count} est={self.value():.3f}>"
 
 
 class MetricsRegistry:

@@ -1,0 +1,15 @@
+"""DF007: a hedged call that opts out of cancelling its losing copies."""
+
+from repro.hedging import HedgedCall
+
+
+class NoCancelHedger:
+    def __init__(self, runtime):
+        self.rt = runtime
+        self.ep = runtime.endpoint
+
+    def race(self, peers):
+        call = HedgedCall(  # line 12: DF007
+            self.ep, peers, "read", quorum=1, cancel_losers=False
+        )
+        yield call.wait(timeout_ms=50.0)

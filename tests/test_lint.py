@@ -46,6 +46,7 @@ class TestRuleFixtures:
             ("df004_leak.py", "DF004", 11),
             ("df005_tight.py", "DF005", 11),
             ("df006_starving.py", "DF006", 10),
+            ("df007_no_cancel.py", "DF007", 12),
         ],
     )
     def test_rule_fires_at_seeded_line(self, fixture, rule, line):
@@ -70,7 +71,7 @@ class TestGoldenJson:
         assert payload == golden
         assert code == EXIT_FINDINGS
         assert payload["summary"]["errors"] == 4
-        assert payload["summary"]["warnings"] == 2
+        assert payload["summary"]["warnings"] == 3
 
 
 class TestRepoIsLintClean:
@@ -178,6 +179,75 @@ class TestSuppressions:
         findings = [f for f in run_rules([scan]) if f.rule_id == "DF001"]
         assert len(findings) == 2
         assert all(f.suppressed for f in findings)
+
+
+class TestFireAndForgetHedges:
+    """DF007 beyond the seeded fixture: the dropped-duplicate loop form
+    and the shapes that must stay clean."""
+
+    def _findings(self, tmp_path, source):
+        from repro.analysis.rules import run_rules
+
+        return run_rules([write_module(tmp_path, source)])
+
+    def test_loop_of_dropped_sends_is_flagged(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            class Sprayer:
+                def spray(self, peers):
+                    for peer in peers:
+                        self.ep.call(peer, "read", {}, size_bytes=16)
+                    yield self.rt.sleep(1.0)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["DF007"]
+        assert "fire-and-forget" in findings[0].message
+
+    def test_kept_handles_in_loop_are_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            class Batcher:
+                def fan_out(self, peers):
+                    calls = []
+                    for peer in peers:
+                        calls.append(self.ep.call(peer, "read", {}))
+                    yield self.rt.sleep(1.0)
+                    for call in calls:
+                        call.cancel_send()
+            """,
+        )
+        assert [f for f in findings if f.rule_id == "DF007"] == []
+
+    def test_default_cancel_losers_is_clean(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            from repro.hedging import HedgedCall, HedgePolicy
+
+            class Hedger:
+                def race(self, peers):
+                    policy = HedgePolicy(max_hedges=2)
+                    call = HedgedCall(self.ep, peers, "read", policy=policy)
+                    yield call.wait(timeout_ms=50.0)
+            """,
+        )
+        assert [f for f in findings if f.rule_id == "DF007"] == []
+
+    def test_no_cancel_policy_is_flagged(self, tmp_path):
+        findings = self._findings(
+            tmp_path,
+            """
+            from repro.hedging import HedgePolicy
+
+            class Config:
+                def build(self):
+                    return HedgePolicy(max_hedges=2, cancel_losers=False)
+            """,
+        )
+        assert [f.rule_id for f in findings] == ["DF007"]
+        assert "HedgePolicy" in findings[0].message
 
 
 class TestScannerResolution:

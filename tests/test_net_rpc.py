@@ -219,3 +219,107 @@ class TestQuorumCall:
         caller.runtime.spawn(logic())
         cluster.run(until_ms=200.0)
         assert done == [1]  # the buffered s4 message was discarded
+
+
+class TestCancelSendIdempotence:
+    """Regressions for the straggler-discard edge cases.
+
+    ``cancel_send`` can be invoked from several places for the same RPC
+    (a QuorumCall's straggler discard, a batcher's outstanding-discard
+    and a HedgedCall's loser cancellation), and a reply can land on the
+    same tick the quorum fires. The handle must do the buffer scan once,
+    memoize the outcome, and retire the caller's pending-reply entry on
+    a successful discard.
+    """
+
+    def _choked_call(self):
+        """One RPC to a choked peer that will sit in s1's send buffer."""
+        cluster, nodes = make_cluster(2)
+        caller, server = nodes
+
+        def handler(payload, src):
+            yield server.runtime.sleep(0.1)
+            return {"ok": True}
+
+        server.endpoint.register("vote", handler)
+        for node in nodes:
+            node.start()
+        cluster.network.set_window_bytes(100)
+        server.cpu.set_quota(0.0001)
+        caller.endpoint.call("s2", "vote", None, size_bytes=90)
+        caller.endpoint.call("s2", "vote", None, size_bytes=90)
+        cluster.run(until_ms=1.0)  # fillers pin the window
+        event = caller.endpoint.call("s2", "vote", None, size_bytes=200)
+        return cluster, caller, event
+
+    def test_double_cancel_discards_once(self):
+        cluster, caller, event = self._choked_call()
+        conn = cluster.network.connection("s1", "s2")
+        before = conn.discarded
+        assert event.cancel_send() is True
+        assert conn.discarded == before + 1
+        # Second (and third) cancel: memoized outcome, no rescan, no
+        # double-count of the discard.
+        assert event.cancel_send() is True
+        assert event.cancel_send() is True
+        assert conn.discarded == before + 1
+
+    def test_successful_discard_retires_pending_entry(self):
+        _cluster, caller, event = self._choked_call()
+        pending_before = len(caller.endpoint._pending)
+        assert event.cancel_send() is True
+        # The request died in the send buffer: no reply will ever arrive,
+        # so keeping the pending entry would leak it for the whole run.
+        assert len(caller.endpoint._pending) == pending_before - 1
+
+    def test_cancel_after_transmit_is_a_stable_no(self):
+        cluster, nodes = make_cluster(2)
+        caller, server = nodes
+        server.endpoint.register("vote", echo_handler(server.runtime))
+        for node in nodes:
+            node.start()
+        event = caller.endpoint.call("s2", "vote", None, size_bytes=10)
+        cluster.run(until_ms=50.0)  # delivered and answered
+        assert event.ok
+        assert event.cancel_send() is False
+        assert event.cancel_send() is False
+
+    def test_reply_arriving_with_quorum_is_not_cancelled(self):
+        # s2 and s3 answer at exactly the same virtual time: the quorum
+        # (quorum=1) fires on one child while the other's reply is being
+        # delivered on the same tick. The straggler discard must treat
+        # the tied reply as arrived (nothing left to cancel) — both
+        # events complete ok and the connection discards nothing.
+        cluster, nodes = make_cluster(3)
+        caller, servers = nodes[0], nodes[1:]
+        for server in servers:
+            def handler(payload, src, _rt=server.runtime):
+                yield _rt.sleep(5.0)
+                return {"ok": True, "from": _rt.node}
+
+            server.endpoint.register("vote", handler)
+        for node in nodes:
+            node.start()
+        done = []
+
+        def logic():
+            call = QuorumCall(
+                caller.endpoint,
+                ["s2", "s3"],
+                "vote",
+                quorum=1,
+                discard_on_quorum=True,
+            )
+            yield call.wait(timeout_ms=1000.0)
+            done.append(call)
+
+        caller.runtime.spawn(logic())
+        cluster.run(until_ms=2000.0)
+        (call,) = done
+        assert [event.ok for event in call.calls] == [True, True]
+        assert cluster.network.connection("s1", "s2").discarded == 0
+        assert cluster.network.connection("s1", "s3").discarded == 0
+        # And a late manual cancel on either is an idempotent no-op.
+        for event in call.calls:
+            assert event.cancel_send() is False
+            assert event.cancel_send() is False

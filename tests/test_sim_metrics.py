@@ -1,12 +1,16 @@
 """Unit tests for metrics primitives."""
 
+import random
+
 import pytest
 
 from repro.sim.metrics import (
     Counter,
     Gauge,
     LatencyRecorder,
+    LatencySummary,
     MetricsRegistry,
+    P2Quantile,
     TimeWeightedValue,
 )
 
@@ -178,3 +182,93 @@ class TestMetricsRegistry:
         reg = MetricsRegistry()
         reg.counter("ops").inc()
         assert reg.snapshot() == {"ops": 1.0}
+
+
+class TestP2Quantile:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_few_samples_use_exact_nearest_rank(self):
+        q = P2Quantile(0.5)
+        assert q.value() == 0.0  # no data yet
+        for x in (5.0, 1.0, 3.0):
+            q.observe(x)
+        # sorted [1, 3, 5], rank ceil(0.5 * 3) = 2 -> 3
+        assert q.value() == 3.0
+        assert q.count == 3
+
+    def test_tracks_uniform_p95_within_tolerance(self):
+        rng = random.Random(42)
+        q = P2Quantile(0.95)
+        for _ in range(5_000):
+            q.observe(rng.uniform(0.0, 100.0))
+        assert abs(q.value() - 95.0) < 2.0
+
+    def test_tracks_bimodal_p95(self):
+        # 90% fast (~1ms), 10% slow (~100ms): P95 sits in the slow mode —
+        # the shape a hedge trigger must see through.
+        rng = random.Random(7)
+        q = P2Quantile(0.95)
+        for _ in range(10_000):
+            if rng.random() < 0.9:
+                q.observe(rng.uniform(0.5, 1.5))
+            else:
+                q.observe(rng.uniform(90.0, 110.0))
+        assert q.value() > 50.0
+
+    def test_deterministic_for_identical_streams(self):
+        rng = random.Random(3)
+        stream = [rng.expovariate(0.2) for _ in range(2_000)]
+        a, b = P2Quantile(0.99), P2Quantile(0.99)
+        for x in stream:
+            a.observe(x)
+            b.observe(x)
+        assert a.value() == b.value()
+
+
+class TestBatchedFlush:
+    """The hot-path contract: record() is one list append; the aggregate
+    fold runs lazily at the first read and is bit-identical to eager."""
+
+    def test_record_is_lazy_until_first_read(self):
+        rec = LatencyRecorder("rpc")
+        for i in range(10):
+            rec.record(float(i), 1.0 + i)
+        assert len(rec._pending) == 10  # nothing folded yet
+        assert rec.count() == 10  # first read folds...
+        assert rec._pending == []  # ...and drains the batch
+
+    def test_lazy_fold_matches_eager_reads(self):
+        rng = random.Random(5)
+        stream = [(float(i), rng.uniform(0.1, 50.0)) for i in range(500)]
+        eager, lazy = LatencyRecorder(sample_stride=3), LatencyRecorder(
+            sample_stride=3
+        )
+        for at, latency in stream:
+            eager.record(at, latency)
+            eager.count()  # force a per-record fold
+            lazy.record(at, latency)
+        lazy_summary, eager_summary = lazy.summary(), eager.summary()
+        for field in LatencySummary.__slots__:
+            assert getattr(lazy_summary, field) == getattr(eager_summary, field)
+        assert lazy.in_window() == eager.in_window()
+        for p in (50.0, 99.0, 99.9):
+            assert lazy.percentile(p) == eager.percentile(p)
+
+    def test_stride_change_flushes_under_old_stride(self):
+        rec = LatencyRecorder(sample_stride=1)
+        for i in range(6):
+            rec.record(float(i), float(i))
+        rec.sample_stride = 100  # must fold the first 6 with stride 1
+        for i in range(6, 12):
+            rec.record(float(i), float(i))
+        # The first 6 were folded with stride 1 (all retained); the later
+        # batch thins out under stride 100. Aggregates stay exact.
+        assert rec.count() == 12
+        retained = rec.in_window()
+        assert [0.0, 1.0, 2.0, 3.0, 4.0, 5.0] == retained[:6]
+        assert len(retained) < 12
+        assert rec.summary().mean == pytest.approx(sum(range(12)) / 12.0)
