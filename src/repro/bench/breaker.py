@@ -1,0 +1,588 @@
+"""Breaker matrix: write-behind circuit breaker on vs off across disk faults.
+
+The mitigation matrix (PR 6) showed why this bench targets *followers*:
+a single fail-slow disk on one member of a 3-node DepFast group is fully
+hidden by the quorum (2-of-{local fsync, f1, f2} commits without it), so
+leader-disk rows recover at 1.0x with zero damage. The scenario where a
+sick disk actually hurts — and the common production one — is a **shared
+storage backend**: both followers' disks degrade together, every commit
+quorum must include at least one slow-disk follower ack, and the
+follower's AppendEntries handler fsyncs before replying. Throughput
+collapses to the crawling device's drain rate.
+
+Each cell replays one disk fault on both followers, twice: once with the
+full attribution + breaker loop attached, once bare. Reported per run:
+
+* **detection latency** — fault onset to the first disk-attribution
+  suspicion; **trip latency** — onset to the first breaker trip;
+* **throughput-recovery time** — onset to the first sustained window back
+  above ``recovery_fraction`` of the healthy baseline (censored at the
+  horizon when it never recovers — the expected breaker-off outcome);
+* **staleness high-water marks** — max queued bytes and max queue-head
+  age across all breaker WALs, which must stay within the configured
+  bounds;
+* **false trips** — any trip in the fault-free control run (must be 0).
+
+The rows are deliberately harsher than the Table 1 catalog defaults
+(which model one cgroup-limited process, not a dying shared backend):
+fail-slow studies place faulty-disk throughput at 1% or less of rated.
+
+A separate **crash-during-tripped-breaker chaos run** kills one follower
+while its breaker is OPEN, restarts it, and checks the §4 safety story:
+the write-behind queue dies with the process (``lost_on_recovery`` > 0),
+the group still converges, and the recorded client history stays
+linearizable (Wing–Gong).
+
+Everything is seeded-deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.breaker.attribution import AttributionConfig
+from repro.breaker.write_behind import (
+    BreakerConfig,
+    BreakerState,
+    CircuitBreakerWal,
+    install_breaker_wals,
+)
+from repro.cluster.cluster import Cluster
+from repro.detector.mitigation import MitigationConfig, MitigationController
+from repro.faults.catalog import FaultSpec, FaultType
+from repro.faults.injector import FaultInjector
+from repro.raft.config import RaftConfig
+from repro.raft.service import (
+    deploy_depfast_raft,
+    find_leader,
+    restart_raft_node,
+    wait_for_leader,
+)
+from repro.trace.linearize import HistoryRecorder, check_linearizable
+from repro.workload.driver import ClosedLoopDriver
+from repro.workload.ycsb import YcsbWorkload
+
+CONTROL = "none"
+
+# Shared-backend disk faults: a dying storage backend, not a cgroup cap.
+# At 200 MB/s rated, 0.997 contention / 0.003 cap both leave ~0.6 MB/s —
+# about 1.5 minutes per write-behind staleness budget of 64 MB.
+BACKEND_CONTENTION = FaultSpec(
+    FaultType.DISK_CONTENTION,
+    description="shared storage backend contention: effective disk ~0.6 MB/s",
+    params={"contender_load": 0.997},
+)
+FSYNC_STALL = FaultSpec(
+    FaultType.DISK_SLOW,
+    description="fsync stall pulse: bandwidth pinned to ~0.6 MB/s",
+    params={"cap_fraction": 0.003},
+)
+
+MATRIX_FAULTS = ["disk_contention", "fsync_jitter", "disk_flapping"]
+SMOKE_FAULTS = ["disk_contention"]
+
+
+@dataclass
+class BreakerParams:
+    """Knobs for one breaker run (defaults sized for a few wall-seconds)."""
+
+    group_size: int = 3
+    n_clients: int = 32
+    record_count: int = 10_000
+    value_size: int = 1_000
+    update_fraction: float = 0.8
+    warmup_ms: float = 3_000.0
+    fault_at_ms: float = 3_000.0
+    end_ms: float = 20_000.0
+    sample_window_ms: float = 500.0
+    recovery_fraction: float = 0.6
+    sustain_windows: int = 2
+    request_timeout_ms: float = 400.0
+    # fsync_jitter row: short stall pulses — every sample window contains
+    # one, so a jittery disk cannot look healthy between stalls.
+    jitter_on_ms: float = 400.0
+    jitter_off_ms: float = 200.0
+    # disk_flapping row: long slow/healthy phases (the breaker must trip
+    # each slow phase and release in the healthy gaps).
+    flap_on_ms: float = 4_000.0
+    flap_off_ms: float = 3_000.0
+    flap_cycles: int = 2
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    # Trip on the first suspicious window instead of the library-default
+    # two: recovery time is dominated by the pre-trip backlog the leader
+    # streams into the followers' disk queues (inflow x trip latency /
+    # sick drain rate), so every saved window is worth seconds. The
+    # fault-free control row asserts this costs no false trips.
+    mitigation: MitigationConfig = field(
+        default_factory=lambda: MitigationConfig(
+            attribution=AttributionConfig(suspect_windows=1)
+        )
+    )
+
+    def config(self, group: Sequence[str]) -> RaftConfig:
+        return RaftConfig(
+            preferred_leader=group[0],
+            client_commit_timeout_ms=1_000.0,
+            snapshot_threshold_entries=400,
+            compaction_keep_entries=128,
+        )
+
+    def follower_ids(self, group: Sequence[str]) -> List[str]:
+        # The shared-backend story: every follower's disk degrades; the
+        # (preferred) leader's own device stays healthy as the baseline.
+        return list(group[1:])
+
+
+@dataclass
+class BreakerRunResult:
+    fault: str
+    breaker_on: bool
+    seed: int
+    healthy_ops_s: float
+    faulted_ops_s: float           # mean over the 4 windows after onset
+    detection_ms: Optional[float]  # None = disks never suspected
+    trip_ms: Optional[float]       # None = breaker never tripped
+    recovery_ms: float             # censored at horizon when not recovered
+    recovered: bool
+    horizon_ms: float
+    trips: int
+    releases: int
+    demotions: int
+    absorbed_syncs: int
+    passthrough_syncs: int
+    queued_bytes_hwm: int
+    lag_ms_hwm: float
+    max_queued_bytes: int
+    max_lag_ms: float
+    false_trips: int               # control row only
+
+    @property
+    def censored(self) -> bool:
+        return not self.recovered
+
+    @property
+    def staleness_ok(self) -> bool:
+        return (
+            self.queued_bytes_hwm <= self.max_queued_bytes
+            and self.lag_ms_hwm <= self.max_lag_ms
+        )
+
+
+def _schedule_fault(
+    injector: FaultInjector, params: BreakerParams, fault: str, followers: List[str]
+) -> None:
+    start = params.fault_at_ms
+    horizon = params.end_ms
+    if fault == "disk_contention":
+        for node_id in followers:
+            injector.inject_transient(node_id, BACKEND_CONTENTION, start, horizon - start)
+    elif fault == "fsync_jitter":
+        period = params.jitter_on_ms + params.jitter_off_ms
+        t = start
+        while t < horizon:
+            for node_id in followers:
+                injector.inject_transient(node_id, FSYNC_STALL, t, params.jitter_on_ms)
+            t += period
+    elif fault == "disk_flapping":
+        period = params.flap_on_ms + params.flap_off_ms
+        for cycle in range(params.flap_cycles):
+            t = start + cycle * period
+            for node_id in followers:
+                injector.inject_transient(
+                    node_id, BACKEND_CONTENTION, t, params.flap_on_ms
+                )
+    elif fault != CONTROL:
+        raise KeyError(f"unknown breaker fault {fault!r}; known: {MATRIX_FAULTS}")
+
+
+def _breaker_wals(cluster: Cluster, group: Sequence[str]) -> List[CircuitBreakerWal]:
+    wals = []
+    for node_id in group:
+        wal = cluster.node(node_id).wal
+        if isinstance(wal, CircuitBreakerWal):
+            wals.append(wal)
+    return wals
+
+
+def run_breaker_once(
+    fault: str,
+    breaker_on: bool,
+    seed: int = 7,
+    params: Optional[BreakerParams] = None,
+) -> BreakerRunResult:
+    """One seeded fault-vs-breaker run; deterministic end to end."""
+    params = params or BreakerParams()
+    cluster = Cluster(seed=seed)
+    group = [f"s{i + 1}" for i in range(params.group_size)]
+    raft = deploy_depfast_raft(cluster, group, config=params.config(group))
+    controller: Optional[MitigationController] = None
+    if breaker_on:
+        install_breaker_wals(cluster, group, config=params.breaker)
+        controller = MitigationController(
+            cluster, raft, detectors=[], config=params.mitigation
+        )
+        controller.start()
+    workload = YcsbWorkload(
+        cluster.rng.stream("workload"),
+        record_count=params.record_count,
+        value_size=params.value_size,
+        update_fraction=params.update_fraction,
+        distribution="uniform",
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        group,
+        workload,
+        n_clients=params.n_clients,
+        think_time_ms=2.0,
+        request_timeout_ms=params.request_timeout_ms,
+        sessions=True,
+    )
+    wait_for_leader(cluster, raft)
+
+    injector = FaultInjector(cluster)
+    followers = params.follower_ids(group)
+    _schedule_fault(injector, params, fault, followers)
+
+    driver.start()
+    window = params.sample_window_ms
+    samples: List[Tuple[float, float]] = []
+    t = 0.0
+    while t < params.end_ms:
+        t_next = min(t + window, params.end_ms)
+        cluster.run(t_next)
+        samples.append((t_next, driver.report(t, t_next).throughput_ops_s))
+        t = t_next
+    driver.stop()
+
+    fault_at = params.fault_at_ms
+    horizon = params.end_ms - fault_at
+    baseline_windows = [ops for end, ops in samples if 1_000.0 < end <= fault_at]
+    healthy = sum(baseline_windows) / len(baseline_windows) if baseline_windows else 0.0
+    after = [ops for end, ops in samples if end > fault_at]
+    faulted = sum(after[:4]) / len(after[:4]) if after else 0.0
+
+    recovery_ms = horizon
+    recovered = False
+    if fault != CONTROL and healthy > 0:
+        threshold = params.recovery_fraction * healthy
+        tail = [(end, ops) for end, ops in samples if end > fault_at]
+        need = max(1, params.sustain_windows)
+        for i in range(len(tail) - need + 1):
+            if all(ops >= threshold for _, ops in tail[i : i + need]):
+                recovery_ms = tail[i][0] - fault_at
+                recovered = True
+                break
+    if fault == CONTROL:
+        recovery_ms = 0.0
+        recovered = True
+
+    detection_ms: Optional[float] = None
+    trip_ms: Optional[float] = None
+    trips = releases = demotions = 0
+    false_trips = 0
+    if controller is not None:
+        if controller.disks is not None:
+            first = controller.disks.first_suspected_at()
+            if first is not None and first >= fault_at:
+                detection_ms = first - fault_at
+        first_trip = controller.first_action_at(("breaker_trip",))
+        if first_trip is not None and first_trip >= fault_at:
+            trip_ms = first_trip - fault_at
+        trips = controller.breaker_trips
+        releases = controller.breaker_releases
+        demotions = controller.demotions
+        if fault == CONTROL:
+            false_trips = controller.breaker_trips
+
+    absorbed = passthrough = 0
+    queued_hwm = 0
+    lag_hwm = 0.0
+    for wal in _breaker_wals(cluster, group):
+        absorbed += wal.absorbed_syncs
+        passthrough += wal.passthrough_syncs
+        queued_hwm = max(queued_hwm, wal.queued_bytes_hwm)
+        lag_hwm = max(lag_hwm, wal.lag_ms_hwm)
+
+    return BreakerRunResult(
+        fault=fault,
+        breaker_on=breaker_on,
+        seed=seed,
+        healthy_ops_s=healthy,
+        faulted_ops_s=faulted,
+        detection_ms=detection_ms,
+        trip_ms=trip_ms,
+        recovery_ms=recovery_ms,
+        recovered=recovered,
+        horizon_ms=horizon,
+        trips=trips,
+        releases=releases,
+        demotions=demotions,
+        absorbed_syncs=absorbed,
+        passthrough_syncs=passthrough,
+        queued_bytes_hwm=queued_hwm,
+        lag_ms_hwm=lag_hwm,
+        max_queued_bytes=params.breaker.max_queued_bytes,
+        max_lag_ms=params.breaker.max_lag_ms,
+        false_trips=false_trips,
+    )
+
+
+# ----------------------------------------------------------------------
+# Crash-during-tripped-breaker chaos
+# ----------------------------------------------------------------------
+@dataclass
+class BreakerChaosResult:
+    seed: int
+    linearizable: bool
+    converged: bool
+    double_applies: int
+    breaker_open_at_crash: bool
+    queued_bytes_at_crash: int
+    lost_on_recovery: int
+    trips: int
+    completed_ops: int
+    client_errors: int
+    checked_ops: int
+    indeterminate_ops: int
+    digest: str
+
+    @property
+    def ok(self) -> bool:
+        return self.linearizable and self.converged and self.double_applies == 0
+
+
+def run_breaker_chaos(
+    seed: int = 7, params: Optional[BreakerParams] = None
+) -> BreakerChaosResult:
+    """Crash one follower while its breaker is OPEN; check safety.
+
+    Timeline: backend contention hits both followers at ``fault_at``;
+    once tripped, the crashed follower's write-behind queue dies with the
+    process. It restarts two seconds later, recovers only what was
+    actually fsynced, and the group must converge (and the client history
+    stay linearizable) after the fault clears.
+    """
+    params = params or BreakerParams()
+    cluster = Cluster(seed=seed)
+    group = [f"s{i + 1}" for i in range(params.group_size)]
+    config = params.config(group)
+    # Chaos-style election timing so failover, not timeout constants,
+    # dominates the crash window.
+    config.heartbeat_interval_ms = 50.0
+    config.election_timeout_min_ms = 300.0
+    config.election_timeout_max_ms = 600.0
+    raft = deploy_depfast_raft(cluster, group, config=config)
+    install_breaker_wals(cluster, group, config=params.breaker)
+    controller = MitigationController(cluster, raft, detectors=[], config=params.mitigation)
+    controller.start()
+    history = HistoryRecorder()
+    workload = YcsbWorkload(
+        cluster.rng.stream("workload"),
+        record_count=64,
+        value_size=params.value_size,
+        update_fraction=0.6,
+        distribution="uniform",
+    )
+    driver = ClosedLoopDriver(
+        cluster,
+        group,
+        workload,
+        n_clients=8,
+        think_time_ms=2.0,
+        request_timeout_ms=params.request_timeout_ms,
+        sessions=True,
+        backoff_ms=20.0,
+        max_attempts=40,
+        history=history,
+    )
+    wait_for_leader(cluster, raft)
+
+    injector = FaultInjector(cluster)
+    followers = params.follower_ids(group)
+    victim = followers[0]
+    fault_at = params.fault_at_ms
+    # Heal well before the horizon so convergence happens on a healthy
+    # backend; crash 60% of the way through the fault window (the breaker
+    # is reliably OPEN by then) and restart while the disk is still sick.
+    clear_at = params.end_ms - 4_000.0
+    for node_id in followers:
+        injector.inject_transient(node_id, BACKEND_CONTENTION, fault_at, clear_at - fault_at)
+
+    crash_state: Dict[str, object] = {}
+
+    def _crash_victim() -> None:
+        wal = cluster.node(victim).wal
+        crash_state["open"] = (
+            isinstance(wal, CircuitBreakerWal) and wal.state == BreakerState.OPEN
+        )
+        crash_state["queued"] = getattr(wal, "queued_bytes", 0)
+        cluster.node(victim).crash("chaos: crash while breaker tripped")
+
+    crash_at = fault_at + 0.6 * (clear_at - fault_at)
+    cluster.kernel.schedule_at(crash_at, _crash_victim)
+    cluster.kernel.schedule_at(
+        crash_at + 2_000.0, lambda: restart_raft_node(cluster, raft, victim)
+    )
+
+    driver.start()
+    cluster.run(params.end_ms)
+    driver.stop()
+
+    converged = False
+    deadline = params.end_ms + 10_000.0
+    while cluster.kernel.now < deadline:
+        cluster.run(min(deadline, cluster.kernel.now + 250.0))
+        if cluster.crashed_nodes():
+            continue
+        applied = {raft[node_id].last_applied for node_id in group}
+        commits = {raft[node_id].commit_index for node_id in group}
+        digests = {raft[node_id].kv.stable_digest() for node_id in group}
+        if len(applied) == 1 and len(commits) == 1 and len(digests) == 1:
+            converged = True
+            break
+
+    verdict = check_linearizable(history)
+    return BreakerChaosResult(
+        seed=seed,
+        linearizable=verdict.ok,
+        converged=converged,
+        double_applies=sum(raft[node_id].kv.double_applies for node_id in group),
+        breaker_open_at_crash=bool(crash_state.get("open", False)),
+        queued_bytes_at_crash=int(crash_state.get("queued", 0)),
+        lost_on_recovery=raft[victim].durable.lost_on_recovery,
+        trips=controller.breaker_trips,
+        completed_ops=driver.completed,
+        client_errors=driver.errors,
+        checked_ops=verdict.checked_ops,
+        indeterminate_ops=verdict.indeterminate_ops,
+        digest=raft[group[0]].kv.stable_digest(),
+    )
+
+
+# ----------------------------------------------------------------------
+# The matrix
+# ----------------------------------------------------------------------
+@dataclass
+class BreakerMatrixResult:
+    pairs: List[Tuple[BreakerRunResult, BreakerRunResult]]  # (on, off)
+    control: BreakerRunResult
+    chaos: Optional[BreakerChaosResult]
+
+    def speedup(self, fault: str) -> float:
+        for on, off in self.pairs:
+            if on.fault == fault:
+                if on.recovery_ms <= 0:
+                    return float("inf")
+                return off.recovery_ms / on.recovery_ms
+        raise KeyError(fault)
+
+    @property
+    def faults_at_2x(self) -> List[str]:
+        return [on.fault for on, _ in self.pairs if self.speedup(on.fault) >= 2.0]
+
+    @property
+    def staleness_ok(self) -> bool:
+        return all(on.staleness_ok for on, _ in self.pairs) and self.control.staleness_ok
+
+    @property
+    def ok(self) -> bool:
+        return (
+            len(self.faults_at_2x) == len(self.pairs)
+            and self.control.false_trips == 0
+            and self.staleness_ok
+            and (self.chaos is None or self.chaos.ok)
+        )
+
+
+def run_breaker_matrix(
+    faults: Optional[Sequence[str]] = None,
+    seed: int = 7,
+    params: Optional[BreakerParams] = None,
+    include_chaos: bool = True,
+) -> BreakerMatrixResult:
+    """The full campaign: every fault on/off, plus control and chaos."""
+    params = params or BreakerParams()
+    pairs = []
+    for fault in faults if faults is not None else MATRIX_FAULTS:
+        on = run_breaker_once(fault, True, seed=seed, params=params)
+        off = run_breaker_once(fault, False, seed=seed, params=params)
+        pairs.append((on, off))
+    control = run_breaker_once(CONTROL, True, seed=seed, params=params)
+    chaos = run_breaker_chaos(seed=seed, params=params) if include_chaos else None
+    return BreakerMatrixResult(pairs=pairs, control=control, chaos=chaos)
+
+
+def _fmt_ms(value: Optional[float]) -> str:
+    return f"{value:7.0f}ms" if value is not None else "      --"
+
+
+def render_breaker_run(run: BreakerRunResult) -> str:
+    loop = "on " if run.breaker_on else "off"
+    recov = f"{run.recovery_ms:7.0f}ms" + (" (censored)" if run.censored else "")
+    staleness = ""
+    if run.breaker_on and (run.trips or run.absorbed_syncs):
+        staleness = (
+            f"  queue hwm {run.queued_bytes_hwm / 1e6:.1f}MB"
+            f"/{run.max_queued_bytes / 1e6:.0f}MB"
+            f" lag hwm {run.lag_ms_hwm / 1e3:.1f}s/{run.max_lag_ms / 1e3:.0f}s"
+        )
+    return (
+        f"  {run.fault:16s} breaker={loop} detect={_fmt_ms(run.detection_ms)} "
+        f"trip={_fmt_ms(run.trip_ms)} recover={recov}  "
+        f"tput {run.faulted_ops_s:6.0f}/{run.healthy_ops_s:6.0f} ops/s  "
+        f"trips={run.trips} releases={run.releases} demotions={run.demotions}"
+        f"{staleness}"
+    )
+
+
+def render_breaker_chaos(run: BreakerChaosResult) -> str:
+    flags = [
+        "linearizable" if run.linearizable else "NOT-LINEARIZABLE",
+        "converged" if run.converged else "NOT-CONVERGED",
+        "exactly-once" if run.double_applies == 0 else f"{run.double_applies} DOUBLE-APPLIES",
+        "crashed-while-OPEN" if run.breaker_open_at_crash else "crashed-while-closed",
+    ]
+    return (
+        f"  crash-under-trip  {' '.join(flags)}\n"
+        f"    queued at crash: {run.queued_bytes_at_crash / 1e6:.2f}MB -> "
+        f"{run.lost_on_recovery} entries lost on recovery; trips={run.trips}, "
+        f"{run.completed_ops} ops ({run.checked_ops} checked, "
+        f"{run.indeterminate_ops} indeterminate, {run.client_errors} gave up)  "
+        f"digest={run.digest}"
+    )
+
+
+def render_breaker_matrix(result: BreakerMatrixResult) -> str:
+    lines = ["breaker matrix (both-follower disk faults, write-behind on vs off):"]
+    for on, off in result.pairs:
+        lines.append(render_breaker_run(on))
+        lines.append(render_breaker_run(off))
+        speedup = result.speedup(on.fault)
+        shown = "inf" if speedup == float("inf") else f"{speedup:.1f}x"
+        bound = "within bounds" if on.staleness_ok else "STALENESS BOUND EXCEEDED"
+        lines.append(f"    -> recovery speedup {shown}; staleness {bound}")
+    lines.append(render_breaker_run(result.control))
+    lines.append(f"    -> false trips on fault-free control: {result.control.false_trips}")
+    if result.chaos is not None:
+        lines.append(render_breaker_chaos(result.chaos))
+    verdict = "MATRIX OK" if result.ok else "MATRIX BELOW TARGET"
+    lines.append(
+        f"{verdict}: {len(result.faults_at_2x)}/{len(result.pairs)} disk faults "
+        f">=2x faster recovery with the breaker on "
+        f"({', '.join(result.faults_at_2x) if result.faults_at_2x else 'none'})"
+    )
+    return "\n".join(lines)
+
+
+def smoke_params() -> BreakerParams:
+    """A scaled-down matrix for CI: shorter horizon, fewer clients."""
+    return BreakerParams(
+        n_clients=16,
+        warmup_ms=2_000.0,
+        fault_at_ms=2_000.0,
+        end_ms=12_000.0,
+        flap_on_ms=3_000.0,
+        flap_off_ms=2_000.0,
+    )

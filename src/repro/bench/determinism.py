@@ -199,12 +199,85 @@ def _run_chaos_scenario(
     )
 
 
+def _run_breaker_scenario(
+    scenario: str, seed: int, on_cluster: Callable[[Cluster], None] | None = None
+) -> TraceDigest:
+    """Write-behind breaker path: trip, absorb, crash-while-tripped, restart.
+
+    A follower's disk crawls for the whole run; the attribution loop trips
+    its breaker, acks come from the write-behind queue, then the node is
+    killed while OPEN (the queue dies unfsynced) and restarted. The fold
+    pins the breaker telemetry alongside the delivery trace, so the
+    trip/absorb/retire/recover paths are all equivalence-checked.
+    """
+    from repro.bench.breaker import BACKEND_CONTENTION
+    from repro.breaker import AttributionConfig, install_breaker_wals
+    from repro.detector.mitigation import MitigationConfig, MitigationController
+    from repro.raft.config import RaftConfig
+    from repro.raft.service import deploy_depfast_raft, restart_raft_node
+
+    cluster = Cluster(seed=seed)
+    if on_cluster is not None:
+        on_cluster(cluster)
+    hasher = _TraceHasher()
+    cluster.network.delivery_probe = hasher.on_delivery
+    group = ["s1", "s2", "s3"]
+    raft = deploy_depfast_raft(cluster, group, config=RaftConfig(preferred_leader="s1"))
+    install_breaker_wals(cluster, group)
+    controller = MitigationController(
+        cluster,
+        raft,
+        detectors=[],
+        config=MitigationConfig(
+            window_ms=250.0,
+            attribution=AttributionConfig(suspect_windows=1, min_samples=3),
+        ),
+    )
+    controller.start()
+
+    FaultInjector(cluster).inject_transient("s3", BACKEND_CONTENTION, 500.0, 3_000.0)
+    cluster.kernel.schedule_at(1_800.0, lambda: cluster.node("s3").crash("breaker scenario"))
+    cluster.kernel.schedule_at(2_300.0, lambda: restart_raft_node(cluster, raft, "s3"))
+
+    workload = YcsbWorkload(
+        cluster.rng.stream("ycsb"),
+        record_count=1_000,
+        value_size=100,
+        update_fraction=1.0,
+    )
+    driver = ClosedLoopDriver(cluster, group, workload, n_clients=8)
+    driver.start()
+    cluster.run(until_ms=3_500.0)
+
+    wal = cluster.node("s3").wal
+    hasher.fold(
+        cluster.kernel.now,
+        driver.completed,
+        driver.errors,
+        controller.breaker_trips,
+        controller.breaker_releases,
+        raft["s3"].durable.lost_on_recovery,
+        wal.state.value,
+        wal.absorbed_syncs,
+    )
+    return TraceDigest(
+        scenario=scenario,
+        seed=seed,
+        trace_hash=hasher.hexdigest(),
+        deliveries=hasher.deliveries,
+        final_time_ms=cluster.kernel.now,
+        completed_ops=driver.completed,
+        errors=driver.errors,
+    )
+
+
 SCENARIOS: Dict[str, Callable[..., TraceDigest]] = {
     "raft": _run_rsm_scenario,
     "hedged": _run_rsm_scenario,
     "paxos": _run_rsm_scenario,
     "chain": _run_rsm_scenario,
     "chaos": _run_chaos_scenario,
+    "breaker": _run_breaker_scenario,
 }
 
 

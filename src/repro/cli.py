@@ -10,6 +10,7 @@ Usage::
     python -m repro chaos [--seed N] [--seeds 20] [--group-sizes 3 5]
     python -m repro mitigate [--smoke] [--seed N] [--faults cpu_slow ...]
     python -m repro hedge [--smoke] [--seed N] [--faults cpu_slow ...]
+    python -m repro breaker [--smoke] [--seed N] [--faults disk_contention ...]
     python -m repro lint [paths] [--format text|json] [--strict]
     python -m repro profile <raft|hedged|paxos|chain|chaos|microbench> [--seed N]
 
@@ -159,6 +160,39 @@ def _cmd_hedge(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_breaker(args) -> int:
+    from repro.bench.breaker import (
+        MATRIX_FAULTS,
+        SMOKE_FAULTS,
+        BreakerParams,
+        render_breaker_matrix,
+        run_breaker_matrix,
+        smoke_params,
+    )
+
+    unknown = [fault for fault in args.faults if fault not in MATRIX_FAULTS]
+    if unknown:
+        print(
+            f"breaker: unknown fault(s) {', '.join(unknown)} "
+            f"(choose from {', '.join(MATRIX_FAULTS)})"
+        )
+        return 2
+    if args.smoke:
+        params = smoke_params()
+        faults = args.faults or SMOKE_FAULTS
+    else:
+        params = BreakerParams()
+        faults = args.faults or None
+    result = run_breaker_matrix(
+        faults=faults,
+        seed=args.seed,
+        params=params,
+        include_chaos=not args.no_chaos,
+    )
+    print(render_breaker_matrix(result))
+    return 0 if result.ok else 1
+
+
 def _cmd_profile(args) -> int:
     from repro.bench import profile as prof
 
@@ -261,6 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of Table 1 faults to run (default: the full matrix)",
     )
     hedge.set_defaults(func=_cmd_hedge)
+
+    breaker = sub.add_parser(
+        "breaker",
+        help="breaker matrix: write-behind WAL breaker on vs off across disk faults",
+    )
+    breaker.add_argument("--seed", type=int, default=7)
+    breaker.add_argument("--smoke", action="store_true", help="shortened CI profile")
+    breaker.add_argument(
+        "--faults",
+        nargs="*",
+        default=[],
+        help="subset of disk faults to run (default: the full matrix)",
+    )
+    breaker.add_argument(
+        "--no-chaos",
+        action="store_true",
+        help="skip the crash-during-tripped-breaker chaos row",
+    )
+    breaker.set_defaults(func=_cmd_breaker)
 
     prof = sub.add_parser(
         "profile", help="virtual-time profiler: events/wall-second per scenario"

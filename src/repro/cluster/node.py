@@ -14,7 +14,7 @@ baselines and DepFastRaft differ on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.net.network import Network
 from repro.net.rpc import RpcEndpoint
@@ -52,6 +52,15 @@ class NodeSpec:
             raise ValueError(f"unknown oom policy {self.oom_policy!r}")
         if not 0 <= self.base_memory_fraction < 1:
             raise ValueError("base memory fraction must be in [0, 1)")
+
+
+def _default_wal_factory(node: "Node") -> WriteAheadLog:
+    return WriteAheadLog(
+        node.runtime.io,
+        name=f"{node.node_id}.wal",
+        node=node.node_id,
+        tracer=node._tracer,
+    )
 
 
 class Node:
@@ -94,7 +103,11 @@ class Node:
             parse_cost_ms=self.spec.rpc_parse_cost_ms,
             parse_cost_per_kb_ms=self.spec.rpc_parse_cost_per_kb_ms,
         )
-        self.wal = WriteAheadLog(self.runtime.io, name=f"{node_id}.wal")
+        # The WAL is rebuilt through this factory on every (re)boot so a
+        # node deployed with a non-default WAL (e.g. the write-behind
+        # circuit breaker) keeps it across crash–restart cycles.
+        self._wal_factory: Callable[["Node"], WriteAheadLog] = _default_wal_factory
+        self.wal = self._wal_factory(self)
 
         network.attach(
             node_id,
@@ -133,6 +146,9 @@ class Node:
         self.crash_reason = reason
         self.metrics.counter("crashes").inc()
         self.runtime.crash()
+        # The WAL handle dies with the process: any write-behind queue is
+        # lost and its drain timers must stop touching the disk.
+        self.wal.retire()
         self.network.crash(self.node_id)
 
     def restart(self) -> None:
@@ -173,8 +189,26 @@ class Node:
             parse_cost_ms=self.spec.rpc_parse_cost_ms,
             parse_cost_per_kb_ms=self.spec.rpc_parse_cost_per_kb_ms,
         )
-        self.wal = WriteAheadLog(self.runtime.io, name=f"{self.node_id}.wal")
+        self.wal = self._wal_factory(self)
         self.network.restart(self.node_id, self.endpoint.inbox)
+
+    def use_wal_factory(
+        self, factory: Callable[["Node"], WriteAheadLog]
+    ) -> WriteAheadLog:
+        """Replace the node's WAL (now and on every future restart).
+
+        Must be called before any bytes are buffered — the current handle
+        is retired and swapped out, not migrated.
+        """
+        if self.wal.buffered_bytes:
+            raise RuntimeError(
+                f"node {self.node_id} has {self.wal.buffered_bytes} buffered "
+                "WAL bytes; swap the WAL before staging writes"
+            )
+        self._wal_factory = factory
+        self.wal.retire()
+        self.wal = factory(self)
+        return self.wal
 
     # ------------------------------------------------------------------
     # Memory wiring

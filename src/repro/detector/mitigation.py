@@ -21,6 +21,14 @@ actions over one Raft group:
   against it. A flapping node that turns slow again mid-probation has
   its counter reset — it stays a learner until it holds a full healthy
   streak.
+* **Disk circuit-breaking** — per-resource attribution
+  (:mod:`repro.breaker.attribution`) separates disk-slow from link-slow
+  suspects: a node whose *own fsync* trace points are inflated gets its
+  write-behind WAL breaker tripped (:mod:`repro.breaker.write_behind`)
+  instead of being demoted — acks come from memory while the sick disk
+  trickle-drains, and the group quorum still guarantees majority
+  persistence. The breaker is released (queue fast-drained, real fsyncs
+  resume) after the disk holds a healthy streak through probation.
 
 The controller runs as a seeded-deterministic kernel timer (like the
 chaos Nemesis): every decision is a pure function of simulation state at
@@ -33,6 +41,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.breaker.attribution import AttributionConfig, DiskAttributor
+from repro.breaker.write_behind import BreakerState, CircuitBreakerWal
 from repro.cluster.cluster import Cluster
 from repro.detector.leader_detector import LeaderSlownessDetector
 from repro.detector.scoring import PeerHealth, ScoringConfig, SlownessScorer
@@ -64,6 +74,14 @@ class MitigationConfig:
     # -- probation -------------------------------------------------------
     # Consecutive healthy windows a demoted node needs to rejoin.
     probation_windows: int = 6
+    # -- disk circuit breaker -------------------------------------------
+    enable_breaker: bool = True
+    attribution: AttributionConfig = field(default_factory=AttributionConfig)
+    # Windows a node's disk must stay attributor-SUSPECT before the trip.
+    trip_after_windows: int = 1
+    # Consecutive disk-healthy windows (probe fsyncs look clean) before a
+    # tripped breaker is released back onto the real disk.
+    breaker_probation_windows: int = 4
 
 
 class NodeStatus(enum.Enum):
@@ -77,7 +95,7 @@ class NodeStatus(enum.Enum):
 @dataclass
 class MitigationAction:
     at: float
-    kind: str     # "transfer" | "demote" | "promote"
+    kind: str     # "transfer" | "demote" | "promote" | "breaker_trip" | "breaker_release"
     node: str
     detail: str = ""
 
@@ -109,10 +127,19 @@ class MitigationController:
         self.transfers = 0
         self.demotions = 0
         self.promotions = 0
+        self.breaker_trips = 0
+        self.breaker_releases = 0
         self.ticks = 0
         self._suspect_windows: Dict[str, int] = {}
         self._probation_streak: Dict[str, int] = {}
         self._leader_suspect_windows = 0
+        self.disks: Optional[DiskAttributor] = (
+            DiskAttributor(cluster.tracer, self.config.attribution)
+            if self.config.enable_breaker
+            else None
+        )
+        self._disk_suspect_windows: Dict[str, int] = {}
+        self._disk_healthy_streak: Dict[str, int] = {}
         self._started = False
         self._stopped = False
 
@@ -143,6 +170,10 @@ class MitigationController:
             for transition in self.scorer.transitions
             if transition.state == PeerHealth.SUSPECT
         )
+        if self.disks is not None:
+            disk_first = self.disks.first_suspected_at()
+            if disk_first is not None:
+                times.append(disk_first)
         return min(times) if times else None
 
     def first_action_at(self, kinds: Optional[Tuple[str, ...]] = None) -> Optional[float]:
@@ -162,6 +193,11 @@ class MitigationController:
         now = self.cluster.kernel.now
         self.ticks += 1
         transitions = self.scorer.roll_window(now)
+        if self.disks is not None:
+            self.disks.roll_window(now)
+            # Breaker decisions need no leader: the sick resource is
+            # local to the node, and so is the mitigation.
+            self._act_on_disks(now)
         leader = find_leader(self.raft_nodes)
         if leader is not None:
             self._act_on_leader(leader, now)
@@ -216,6 +252,14 @@ class MitigationController:
             if crashed and self.config.demote_crashed:
                 self._propose_demote(leader, peer, now, "crashed")
                 continue
+            if slow and self._disk_attributed(peer):
+                # The symptom is link-shaped (slow acks) but the cause is
+                # the peer's disk: the breaker owns this one. Demoting
+                # would hide the slowness without fixing the ack path.
+                self._suspect_windows[peer] = 0
+                if status == NodeStatus.SUSPECT:
+                    self.status[peer] = NodeStatus.VOTER
+                continue
             if not slow:
                 self._suspect_windows[peer] = 0
                 if status == NodeStatus.SUSPECT:
@@ -237,6 +281,68 @@ class MitigationController:
         self._suspect_windows[peer] = 0
         self._probation_streak[peer] = 0
         self.actions.append(MitigationAction(now, "demote", peer, why))
+
+    # -- disk circuit breaker -------------------------------------------
+    def _breaker_wal(self, node_id: str) -> Optional[CircuitBreakerWal]:
+        """The node's live breaker WAL, if it was deployed with one.
+
+        Looked up fresh every tick: restarts rebuild the WAL through the
+        node's factory, so cached handles would go stale.
+        """
+        wal = self.cluster.node(node_id).wal
+        return wal if isinstance(wal, CircuitBreakerWal) else None
+
+    def _disk_attributed(self, node_id: str) -> bool:
+        return (
+            self.disks is not None
+            and self.disks.state(node_id) == PeerHealth.SUSPECT
+            and self._breaker_wal(node_id) is not None
+        )
+
+    def _act_on_disks(self, now: float) -> None:
+        for node_id in self.group:
+            wal = self._breaker_wal(node_id)
+            if wal is None or self.cluster.node(node_id).crashed:
+                self._disk_suspect_windows[node_id] = 0
+                self._disk_healthy_streak[node_id] = 0
+                continue
+            suspect = self.disks.state(node_id) == PeerHealth.SUSPECT
+            if wal.state == BreakerState.CLOSED:
+                if suspect:
+                    windows = self._disk_suspect_windows.get(node_id, 0) + 1
+                    self._disk_suspect_windows[node_id] = windows
+                    if windows >= self.config.trip_after_windows:
+                        wal.trip(now)
+                        self.breaker_trips += 1
+                        self._disk_healthy_streak[node_id] = 0
+                        self.actions.append(
+                            MitigationAction(
+                                now, "breaker_trip", node_id, "disk fail-slow"
+                            )
+                        )
+                else:
+                    self._disk_suspect_windows[node_id] = 0
+            elif wal.state == BreakerState.OPEN:
+                # Probe fsyncs keep health samples flowing while tripped;
+                # release only after the disk looks clean long enough.
+                healthy = not suspect and self.disks.score(node_id) < 1.0
+                if healthy:
+                    streak = self._disk_healthy_streak.get(node_id, 0) + 1
+                    self._disk_healthy_streak[node_id] = streak
+                    if streak >= self.config.breaker_probation_windows:
+                        wal.release(now)
+                        self.breaker_releases += 1
+                        self._disk_suspect_windows[node_id] = 0
+                        self.actions.append(
+                            MitigationAction(
+                                now,
+                                "breaker_release",
+                                node_id,
+                                f"probation passed ({wal.queued_bytes}B queued)",
+                            )
+                        )
+                else:
+                    self._disk_healthy_streak[node_id] = 0
 
     # -- probation and promotion ----------------------------------------
     def _advance_probation(self, leader, now: float, transitions) -> None:

@@ -46,6 +46,14 @@ class ScoringConfig:
     miss_rate_threshold: float = 0.95
     # Minimum RTT samples on a link before it can be judged at all.
     min_samples: int = 8
+    # Minimum judged links a caller needs before relative RTT comparison
+    # means anything. With a single peer the "best link" baseline *is*
+    # the suspect link, so rtt/baseline pins to 1.0 and the component to
+    # 1/rtt_factor — a uniformly-slow sole peer could never be suspected
+    # (and the pinned value is noise either way). Below this floor the
+    # RTT component is 0: "cannot judge relatively"; the quorum-miss
+    # component still applies.
+    min_baseline_peers: int = 2
     # Hysteresis: consecutive suspicious windows to flag ...
     suspect_windows: int = 3
     # ... and consecutive healthy windows to clear.
@@ -156,19 +164,18 @@ class SlownessScorer:
         link = self.links.get((caller, peer))
         if link is None or link.samples < cfg.min_samples or link.rtt_ewma_ms is None:
             return 0.0
-        baseline = min(
-            (
-                other.rtt_ewma_ms
-                for (other_caller, _), other in self.links.items()
-                if other_caller == caller
-                and other.samples >= cfg.min_samples
-                and other.rtt_ewma_ms is not None
-            ),
-            default=None,
-        )
+        judged = [
+            other.rtt_ewma_ms
+            for (other_caller, _), other in self.links.items()
+            if other_caller == caller
+            and other.samples >= cfg.min_samples
+            and other.rtt_ewma_ms is not None
+        ]
         rtt_component = 0.0
-        if baseline is not None and baseline > 0:
-            rtt_component = (link.rtt_ewma_ms / baseline) / cfg.rtt_factor
+        if len(judged) >= cfg.min_baseline_peers:
+            baseline = min(judged)
+            if baseline > 0:
+                rtt_component = (link.rtt_ewma_ms / baseline) / cfg.rtt_factor
         rank_component = 0.0
         if link.rounds >= cfg.min_samples:
             rank_component = link.miss_ewma / cfg.miss_rate_threshold

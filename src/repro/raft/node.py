@@ -226,20 +226,21 @@ class RaftNode:
     def _stage_durable(self, entries: List[LogEntry]):
         """WAL-append ``entries`` and return the fsync event to wait on.
 
-        The durable store marks them recoverable only when the fsync
-        completes — and only if the process is still alive to observe it
-        (a flush racing a crash did not make it to the platter).
+        The durable store marks them recoverable only when the bytes are
+        actually on the platter — ``on_durable`` fires at real fsync
+        completion, not at acknowledgement time, so a write-behind WAL
+        that acks early cannot over-report disk contents — and only if
+        the process is still alive to observe it (a flush racing a crash
+        did not make it to the platter).
         """
         self.node.wal.append(entries_size(entries))
         self.durable.stage_entries(entries)
         covered = self.durable.begin_sync()
-        sync = self.node.wal.sync()
-        sync.subscribe(
-            lambda _ev, _covered=covered: (
+        return self.node.wal.sync(
+            on_durable=lambda _covered=covered: (
                 None if self.node.crashed else self.durable.commit_sync(_covered)
             )
         )
-        return sync
 
     def is_leader(self) -> bool:
         return self.role == Role.LEADER and not self.node.crashed
@@ -534,6 +535,14 @@ class RaftNode:
                 self._match_index[peer] = match
                 self._next_index[peer] = match + 1
                 self._fire_catchup_promises(peer)
+            elif self._next_index[peer] <= match:
+                # Success below the recorded match: the peer rebooted under
+                # a tripped breaker and its write-behind-acked tail never
+                # hit the platter, so its log is shorter than what it acked.
+                # match stays monotone (the lost tail was committed by the
+                # majority), but next must follow the peer's real log or
+                # repair re-sends the same already-held batch forever.
+                self._next_index[peer] = match + 1
         else:
             hint = reply.get("hint", 0)
             self._next_index[peer] = max(1, min(self._next_index[peer], hint + 1))

@@ -14,6 +14,15 @@ when the fsync covering them completes (``begin_sync`` captures the
 covered suffix; ``commit_sync`` marks it). An entry staged but not yet
 synced at crash time is lost — exactly the window real Raft tolerates,
 because such entries were never acknowledged.
+
+When two syncs overlap, the staged set an fsync captured can go stale: an
+entry re-staged (overwritten, or appended at a recycled index) after
+``begin_sync`` holds bytes the in-flight fsync never saw. ``begin_sync``
+therefore returns ``(index, staging_seq)`` pairs and ``commit_sync`` only
+marks an index durable if its staging sequence is unchanged — otherwise a
+crash between the two fsyncs would over-report what is on disk. Plain
+``int`` items are still accepted (marked unconditionally) for callers that
+serialize their syncs.
 """
 
 from __future__ import annotations
@@ -38,6 +47,11 @@ class DurableRaftState:
         # objects with .index/.term attributes to avoid an import cycle
         # with repro.raft.types.
         self._entries: Dict[int, Tuple[Any, bool]] = {}
+        # index -> staging sequence number, bumped every time the slot is
+        # (re)staged; lets an overlapping fsync detect that its captured
+        # set went stale (see commit_sync).
+        self._staged_seq: Dict[int, int] = {}
+        self._seq = 0
         self.recoveries = 0
         self.lost_on_recovery = 0  # staged-but-unsynced entries dropped
 
@@ -62,15 +76,38 @@ class DurableRaftState:
             if existing is not None and existing[0].term != entry.term:
                 for index in [i for i in self._entries if i >= entry.index]:
                     del self._entries[index]
+                    self._staged_seq.pop(index, None)
             self._entries[entry.index] = (entry, False)
+            self._seq += 1
+            self._staged_seq[entry.index] = self._seq
 
-    def begin_sync(self) -> List[int]:
-        """Snapshot the staged-entry set an fsync is about to cover."""
-        return [index for index, (_e, durable) in self._entries.items() if not durable]
+    def begin_sync(self) -> List[Tuple[int, int]]:
+        """Snapshot the staged-entry set an fsync is about to cover.
 
-    def commit_sync(self, covered: List[int]) -> None:
-        """The fsync completed: entries it covered are now durable."""
-        for index in covered:
+        Returns ``(index, staging_seq)`` pairs; pass them back verbatim to
+        :meth:`commit_sync` when the fsync completes.
+        """
+        return [
+            (index, self._staged_seq[index])
+            for index, (_e, durable) in self._entries.items()
+            if not durable
+        ]
+
+    def commit_sync(self, covered: List) -> None:
+        """The fsync completed: entries it covered are now durable.
+
+        ``(index, seq)`` items are marked only if the slot has not been
+        re-staged since ``begin_sync`` captured them — an entry written
+        after the fsync's snapshot holds bytes that flush never saw.
+        Plain ``int`` items are marked unconditionally.
+        """
+        for item in covered:
+            if isinstance(item, tuple):
+                index, seq = item
+                if self._staged_seq.get(index) != seq:
+                    continue
+            else:
+                index = item
             entry = self._entries.get(index)
             if entry is not None:
                 self._entries[index] = (entry[0], True)
@@ -87,10 +124,12 @@ class DurableRaftState:
         self.snapshot = state
         for index in [i for i in self._entries if i <= last_index]:
             del self._entries[index]
+            self._staged_seq.pop(index, None)
 
     def clear_log(self) -> None:
         """Drop all log entries (an installed snapshot replaced them)."""
         self._entries.clear()
+        self._staged_seq.clear()
 
     # ------------------------------------------------------------------
     # Recovery
@@ -115,6 +154,7 @@ class DurableRaftState:
         )
         for stale in [i for i in self._entries if i >= index]:
             del self._entries[stale]
+            self._staged_seq.pop(stale, None)
         return entries
 
     def has_state(self) -> bool:

@@ -120,6 +120,11 @@ class Tracer:
         # stragglers nobody waited on — which is what per-peer slowness
         # detection needs.
         self.rpc_latencies: List[Tuple[str, str, str, float, float]] = []
+        # (node, n_bytes, latency_ms, completed_at): per-fsync latencies
+        # reported by the WAL. These are *local* trace points — a slow
+        # disk inflates them without touching any peer RTT, which is what
+        # per-resource attribution keys on.
+        self.fsync_latencies: List[Tuple[str, int, float, float]] = []
         # Per-round quorum arrival outcomes (who made the quorum, who
         # straggled) reported by quorum waiters at trigger time.
         self.quorum_arrivals: List[QuorumArrival] = []
@@ -130,6 +135,9 @@ class Tracer:
         # trace points live instead of post-processing the record lists.
         self._rpc_listeners: List[Callable] = []
         self._quorum_listeners: List[Callable] = []
+        self._disk_listeners: List[Callable] = []
+        self._fsync_begin_listeners: List[Callable] = []
+        self._fsync_abort_listeners: List[Callable] = []
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -174,6 +182,34 @@ class Tracer:
             self.rpc_latencies.append((node, peer, method, latency_ms, now))
             for listener in self._rpc_listeners:
                 listener(node, peer, method, latency_ms, now)
+
+    def on_fsync_begin(self, node: str, n_bytes: int, now: float) -> None:
+        """One real WAL fsync was just issued on ``node``.
+
+        Completion latencies alone starve detection exactly when the
+        disk is worst — a stalled fsync delivers no sample until it
+        finally lands — so attributors also watch the *age* of the
+        in-flight fsync as a censored ("at least this slow") reading.
+        """
+        if self.enabled:
+            for listener in self._fsync_begin_listeners:
+                listener(node, n_bytes, now)
+
+    def on_fsync_abort(self, node: str, now: float) -> None:
+        """``node``'s WAL retired (crash): its in-flight fsyncs died."""
+        if self.enabled:
+            for listener in self._fsync_abort_listeners:
+                listener(node, now)
+
+    def on_fsync_complete(
+        self, node: str, n_bytes: int, latency_ms: float, now: float
+    ) -> None:
+        """One real WAL fsync finished on ``node`` (write-behind absorbs
+        and no-op syncs are *not* reported — only platter traffic)."""
+        if self.enabled:
+            self.fsync_latencies.append((node, n_bytes, latency_ms, now))
+            for listener in self._disk_listeners:
+                listener(node, n_bytes, latency_ms, now)
 
     def report_quorum_event(self, caller: str, quorum_event, now: float) -> None:
         """Record arrival ranks for one triggered quorum round.
@@ -224,6 +260,18 @@ class Tracer:
     def add_quorum_listener(self, listener: Callable) -> None:
         """``listener(arrival: QuorumArrival)`` per quorum-round outcome."""
         self._quorum_listeners.append(listener)
+
+    def add_disk_listener(self, listener: Callable) -> None:
+        """``listener(node, n_bytes, latency_ms, now)`` per completed fsync."""
+        self._disk_listeners.append(listener)
+
+    def add_fsync_begin_listener(self, listener: Callable) -> None:
+        """``listener(node, n_bytes, now)`` per issued fsync."""
+        self._fsync_begin_listeners.append(listener)
+
+    def add_fsync_abort_listener(self, listener: Callable) -> None:
+        """``listener(node, now)`` when a node's WAL retires mid-fsync."""
+        self._fsync_abort_listeners.append(listener)
 
     # ------------------------------------------------------------------
     # Queries

@@ -110,6 +110,35 @@ class TestScorerHysteresis:
         assert scorer.score("s1", "s2") == 0.0
         assert scorer.scores_from("s1") == {"s2": 0.0}
 
+    def test_sole_judged_peer_has_no_rtt_baseline(self):
+        """With one judged link the "best link" baseline *is* the suspect
+        link, so the ratio pins to 1.0 — the RTT component must report
+        "cannot judge relatively", not a constant 1/rtt_factor."""
+        scorer = self.scorer(min_samples=4)
+        for _ in range(10):
+            self.feed(scorer, {"s2": 500.0})  # absurdly slow, but alone
+        assert scorer.score("s1", "s2") == 0.0
+        scorer.roll_window(500.0)
+        scorer.roll_window(1000.0)
+        scorer.roll_window(1500.0)
+        assert scorer.suspects_of("s1") == []
+        # A second judged peer restores the relative comparison.
+        for _ in range(10):
+            self.feed(scorer, {"s3": 1.0})
+        assert scorer.score("s1", "s2") > 1.0
+
+    def test_sole_peer_still_judged_by_quorum_misses(self):
+        """The single-peer guard disables only the RTT ratio: a sole peer
+        that keeps missing the winning quorum is still scoreable."""
+        from repro.trace.tracepoints import QuorumArrival
+
+        scorer = self.scorer(min_samples=8)
+        for _ in range(10):
+            self.feed(scorer, {"s2": 1.0})
+        for _ in range(60):
+            scorer._on_quorum(QuorumArrival("s1", "s2", False, None, 2, 0.0))
+        assert scorer.score("s1", "s2") >= 1.0
+
 
 def _scored_run(seed, fault=None, until_ms=4_000.0):
     """A short live-cluster run; returns the scorer's full link state."""

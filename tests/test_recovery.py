@@ -57,6 +57,24 @@ class TestDurableRaftState:
             (2, 2),
         ]
 
+    def test_restaged_entry_not_marked_durable_by_stale_sync(self):
+        """A sync that began before a conflicting restage must not mark
+        the restaged entry durable when it lands (overlapping
+        begin_sync/commit_sync guard)."""
+        durable = DurableRaftState("s1")
+        durable.stage_entries([_Entry(1, 1), _Entry(2, 1)])
+        covered = durable.begin_sync()
+        # A new leader overwrites index 2 while that fsync is in flight.
+        durable.stage_entries([_Entry(2, 2)])
+        durable.commit_sync(covered)  # index 2's seq is stale: skip it
+        assert durable.durable_count() == 1
+        # The next sync cut covers the restaged entry for real.
+        durable.commit_sync(durable.begin_sync())
+        assert [(e.index, e.term) for e in durable.recovered_entries()] == [
+            (1, 1),
+            (2, 2),
+        ]
+
     def test_snapshot_drops_covered_entries(self):
         durable = DurableRaftState("s1")
         durable.stage_entries([_Entry(i, 1) for i in range(1, 6)])
@@ -240,3 +258,65 @@ class TestCrashRecovery:
         digests = {r.kv.stable_digest() for r in raft.values()}
         assert len(digests) == 1
         assert raft["s1"].kv.get("z") == 3
+
+
+class TestCrashWhileBreakerTripped:
+    @pytest.mark.slow
+    def test_queued_entries_lost_but_group_converges(self):
+        """Reboot under a tripped breaker: the write-behind queue dies with
+        the process, recovery reflects only what was actually fsynced, and
+        the majority (which kept real-fsyncing) re-replicates the rest."""
+        from repro.bench.breaker import BACKEND_CONTENTION
+        from repro.breaker import (
+            AttributionConfig,
+            BreakerState,
+            install_breaker_wals,
+        )
+        from repro.detector.mitigation import MitigationConfig, MitigationController
+        from repro.workload.driver import ClosedLoopDriver
+        from repro.workload.ycsb import YcsbWorkload
+
+        cluster, raft, group = _deploy(seed=13)
+        install_breaker_wals(cluster, group)
+        controller = MitigationController(
+            cluster,
+            raft,
+            detectors=[],
+            config=MitigationConfig(
+                window_ms=250.0,
+                attribution=AttributionConfig(suspect_windows=1, min_samples=3),
+            ),
+        )
+        controller.start()
+        wait_for_leader(cluster, raft)
+        workload = YcsbWorkload(
+            cluster.rng.stream("ycsb"), record_count=1_000, value_size=200
+        )
+        driver = ClosedLoopDriver(cluster, group, workload, n_clients=8)
+        driver.start()
+
+        FaultInjector(cluster).inject_transient("s3", BACKEND_CONTENTION, 500.0, 2_500.0)
+        cluster.run(2_500.0)
+        wal = cluster.node("s3").wal
+        assert wal.state == BreakerState.OPEN
+        assert wal.queued_bytes > 0  # acked-from-memory bytes at risk
+
+        cluster.node("s3").crash("crash while breaker tripped")
+        assert wal.dropped_entries_on_retire > 0  # the queue died unfsynced
+        cluster.run(4_000.0)
+        restarted = restart_raft_node(cluster, raft, "s3")
+        assert restarted.recovered
+        assert restarted.durable.lost_on_recovery > 0  # honest recovery
+        # Keep client traffic flowing: the crashed node was demoted to
+        # learner, and learners catch up by riding live replication.
+        cluster.run(12_000.0)
+        driver.stop()
+        cluster.run(25_000.0)
+
+        # The majority kept real fsyncs, so nothing acked to clients was
+        # lost: the group converges to one identical history.
+        digests = {r.kv.stable_digest() for r in raft.values()}
+        assert len(digests) == 1
+        assert {r.last_applied for r in raft.values()} != {0}
+        for raft_node in raft.values():
+            assert raft_node.kv.exactly_once_violations() == 0

@@ -58,6 +58,20 @@ class TestWal:
         kernel.run_until_idle()
         assert event.triggered_at == pytest.approx(5.0)
 
+    def test_empty_buffer_sync_completes_without_disk_trip(self):
+        kernel, wal = make_wal()
+        event = wal.sync()  # nothing buffered: no platter traffic
+        assert event.ready()  # pre-completed, no virtual time consumed
+        assert wal.noop_syncs == 1
+        assert wal.syncs == 0
+        assert kernel.now == 0.0
+
+    def test_empty_sync_fires_on_durable_immediately(self):
+        _, wal = make_wal()
+        fired = []
+        wal.sync(on_durable=lambda: fired.append(True))
+        assert fired == [True]
+
     def test_negative_sizes_rejected(self):
         _, wal = make_wal()
         with pytest.raises(ValueError):
