@@ -1,0 +1,58 @@
+"""Accepted-findings baselines: ``--baseline`` no-new-findings gating.
+
+A baseline file freezes the findings a codebase has consciously decided
+to live with. Linting against it reports everything but *fails* only on
+findings absent from the file — so CI gates on regressions, not history.
+
+Fingerprints are ``rule::path::qualname`` — deliberately line-free, so
+unrelated edits that shift line numbers don't churn the baseline, while a
+finding moving to a different function counts as new.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.model import Finding
+
+BASELINE_VERSION = 1
+
+
+def fingerprint(finding: Finding, root: Optional[str] = None) -> str:
+    from repro.analysis.lint import _rel
+
+    return f"{finding.rule_id}::{_rel(finding.path, root)}::{finding.qualname}"
+
+
+def load_baseline(path: str) -> Set[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "fingerprints" not in payload:
+        raise ValueError(f"not a depfast baseline file: {path}")
+    return set(payload["fingerprints"])
+
+
+def apply_baseline(
+    findings: Iterable[Finding], accepted: Set[str], root: Optional[str] = None
+) -> None:
+    """Mark findings whose fingerprint the baseline accepts."""
+    for finding in findings:
+        if fingerprint(finding, root) in accepted:
+            finding.baselined = True
+
+
+def render_baseline(findings: Iterable[Finding], root: Optional[str] = None) -> str:
+    """Serialize the *unsuppressed* findings as a fresh baseline file."""
+    prints: List[str] = sorted(
+        {
+            fingerprint(finding, root)
+            for finding in findings
+            if not finding.suppressed
+        }
+    )
+    return json.dumps(
+        {"version": BASELINE_VERSION, "fingerprints": prints},
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,284 @@
+"""Whole-program call graph over a set of :class:`ModuleScan` s.
+
+The graph maps *call sites* to :class:`FunctionScan` s:
+
+* ``self.helper(...)`` resolves through the enclosing class, then its
+  base classes (same module, then classes imported by name);
+* bare ``helper(...)`` resolves to a module-level function of the same
+  module, then to a ``from mod import helper`` binding;
+* ``rt.spawn(self._loop(...), ...)`` coroutine spawn sites are edges too,
+  so dedication and replica context flow into spawned coroutines.
+
+Resolution is deliberately conservative: a call the graph cannot resolve
+is simply absent (no edge), and downstream analyses treat the callee as
+opaque — the linter never reasons from guessed targets.
+
+On top of the edges the graph computes three whole-program facts:
+
+* **dedication** — the program-wide fixpoint of PR 3's per-module rule: a
+  function is dedicated when it is a ``dedication=...`` spawn target or
+  when every caller/spawner is itself dedicated;
+* **replica context** — reachability from replica-class methods, so a
+  wait site factored into a helper module still counts as replica-group
+  code (this is what lets DF001 and the static SPG's ``group`` scope
+  cross module boundaries);
+* **boundary context** — reachability from non-replica code (clients,
+  drivers, the txn coordinator), the complementary scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.model import CallSite, FunctionScan
+
+
+class Program:
+    """Index + call graph over every scanned module."""
+
+    def __init__(self, scans: Iterable["ModuleScan"]):
+        # Deterministic order regardless of how paths were given.
+        self.scans = sorted(scans, key=lambda s: s.path)
+        self.functions: List[FunctionScan] = []
+        # (module, name) -> module-level function.
+        self._module_funcs: Dict[Tuple[str, str], FunctionScan] = {}
+        # (module, class_name, method_name) -> method.
+        self._methods: Dict[Tuple[str, str, str], FunctionScan] = {}
+        # (module, local_name) -> module path it was imported from.
+        self._imports: Dict[Tuple[str, str], str] = {}
+        # (module, class_name) -> base-class name list (source order).
+        self._class_bases: Dict[Tuple[str, str], List[str]] = {}
+        # class name -> [(module, class_name)] for cross-module base lookup.
+        self._classes_by_name: Dict[str, List[Tuple[str, str]]] = {}
+        # Resolved edges, built lazily by resolve_all().
+        self._callers: Dict[int, List[FunctionScan]] = {}
+        self._callees: Dict[int, List[FunctionScan]] = {}
+        self._spawns: Dict[int, List[Tuple[FunctionScan, bool]]] = {}
+        self._index()
+        self._link()
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        for scan in self.scans:
+            for func in scan.functions:
+                func.module = scan.module
+                func.path = scan.path
+                self.functions.append(func)
+                if func.class_name is None and "." not in func.qualname:
+                    self._module_funcs[(scan.module, func.name)] = func
+                elif (
+                    func.class_name is not None
+                    and func.qualname.endswith(f"{func.class_name}.{func.name}")
+                    and func.qualname.count(".") >= 1
+                ):
+                    key = (scan.module, func.class_name, func.name)
+                    # First definition wins (overloads don't exist; a nested
+                    # def sharing the name would shadow, so keep the method).
+                    self._methods.setdefault(key, func)
+            for node in scan.tree.body:
+                if isinstance(node, ast.ImportFrom) and node.module:
+                    for alias in node.names:
+                        local = alias.asname or alias.name
+                        self._imports[(scan.module, local)] = node.module
+            for node in ast.walk(scan.tree):
+                if isinstance(node, ast.ClassDef):
+                    bases = []
+                    for base in node.bases:
+                        if isinstance(base, ast.Name):
+                            bases.append(base.id)
+                        elif isinstance(base, ast.Attribute):
+                            bases.append(base.attr)
+                    self._class_bases[(scan.module, node.name)] = bases
+                    self._classes_by_name.setdefault(node.name, []).append(
+                        (scan.module, node.name)
+                    )
+        self.functions.sort(key=lambda f: (f.path, f.lineno, f.qualname))
+
+    # ------------------------------------------------------------------
+    # Call-site resolution
+    # ------------------------------------------------------------------
+    def resolve_call(
+        self, caller: FunctionScan, site: CallSite
+    ) -> Optional[FunctionScan]:
+        return self.resolve_name(caller, site.name, site.is_self)
+
+    def resolve_name(
+        self, caller: FunctionScan, name: str, is_self: bool
+    ) -> Optional[FunctionScan]:
+        if is_self:
+            if caller.class_name is None:
+                return None
+            return self._resolve_method(caller.module, caller.class_name, name)
+        func = self._module_funcs.get((caller.module, name))
+        if func is not None:
+            return func
+        source = self._imports.get((caller.module, name))
+        if source is not None:
+            resolved = self._module_funcs.get((source, name))
+            if resolved is not None:
+                return resolved
+            # Scanned-from-elsewhere roots (tests, tools) produce module
+            # names with extra leading components; an import of `pkg.mod`
+            # still means the scanned `...pkg.mod` when that is unique.
+            full = self._resolve_module(source)
+            if full is not None:
+                return self._module_funcs.get((full, name))
+        return None
+
+    def _resolve_module(self, source: str) -> Optional[str]:
+        candidates = sorted(
+            {
+                module
+                for (module, _name) in self._module_funcs
+                if module.endswith("." + source)
+            }
+        )
+        return candidates[0] if len(candidates) == 1 else None
+
+    def _resolve_method(
+        self,
+        module: str,
+        class_name: str,
+        name: str,
+        seen: Optional[Set[Tuple[str, str]]] = None,
+    ) -> Optional[FunctionScan]:
+        seen = seen or set()
+        if (module, class_name) in seen:
+            return None
+        seen.add((module, class_name))
+        func = self._methods.get((module, class_name, name))
+        if func is not None:
+            return func
+        for base in self._class_bases.get((module, class_name), []):
+            owner = self._find_class(module, base)
+            if owner is not None:
+                found = self._resolve_method(owner[0], owner[1], name, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def _find_class(self, module: str, name: str) -> Optional[Tuple[str, str]]:
+        if (module, name) in self._class_bases:
+            return (module, name)
+        source = self._imports.get((module, name))
+        if source is not None and (source, name) in self._class_bases:
+            return (source, name)
+        candidates = self._classes_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    def _link(self) -> None:
+        for func in self.functions:
+            resolved: List[FunctionScan] = []
+            for site in func.call_sites:
+                callee = self.resolve_call(func, site)
+                if callee is not None:
+                    resolved.append(callee)
+                    self._callers.setdefault(id(callee), []).append(func)
+            self._callees[id(func)] = resolved
+            self._spawns[id(func)] = []
+            if func.node is not None:
+                for target, dedicated in self._spawn_targets(func):
+                    self._spawns[id(func)].append((target, dedicated))
+                    self._callers.setdefault(id(target), []).append(func)
+
+    def _spawn_targets(self, func: FunctionScan):
+        from repro.analysis.resolve import _call_name
+
+        for node in ast.walk(func.node):
+            if not isinstance(node, ast.Call) or _call_name(node.func) != "spawn":
+                continue
+            if not node.args or not isinstance(node.args[0], ast.Call):
+                continue
+            target_func = node.args[0].func
+            if isinstance(target_func, ast.Attribute) and (
+                isinstance(target_func.value, ast.Name)
+                and target_func.value.id == "self"
+            ):
+                callee = self.resolve_name(func, target_func.attr, True)
+            elif isinstance(target_func, ast.Name):
+                callee = self.resolve_name(func, target_func.id, False)
+            else:
+                callee = None
+            if callee is None:
+                continue
+            dedication = next(
+                (kw.value for kw in node.keywords if kw.arg == "dedication"),
+                None,
+            )
+            dedicated = dedication is not None and not (
+                isinstance(dedication, ast.Constant) and dedication.value is None
+            )
+            yield callee, dedicated
+
+    def callees_of(self, func: FunctionScan) -> List[FunctionScan]:
+        return self._callees.get(id(func), [])
+
+    def spawns_of(self, func: FunctionScan) -> List[Tuple[FunctionScan, bool]]:
+        return self._spawns.get(id(func), [])
+
+    def callers_of(self, func: FunctionScan) -> List[FunctionScan]:
+        return self._callers.get(id(func), [])
+
+    # ------------------------------------------------------------------
+    # Whole-program facts
+    # ------------------------------------------------------------------
+    def propagate_dedication(self) -> None:
+        """Program-wide version of the PR 3 per-module rule."""
+        roots: Set[int] = set()
+        for func in self.functions:
+            for target, dedicated in self.spawns_of(func):
+                if dedicated:
+                    roots.add(id(target))
+        dedicated: Set[int] = set(roots)
+        changed = True
+        while changed:
+            changed = False
+            for func in self.functions:
+                if id(func) in dedicated:
+                    continue
+                callers = self.callers_of(func)
+                if callers and all(id(c) in dedicated for c in callers):
+                    dedicated.add(id(func))
+                    changed = True
+        for func in self.functions:
+            if id(func) in dedicated:
+                func.dedicated = True
+                for site in func.wait_sites:
+                    site.dedicated = True
+
+    def propagate_contexts(self) -> None:
+        """Flow replica/boundary calling contexts through the edges."""
+        replica_seeds = [f for f in self.functions if f.replica]
+        boundary_seeds = [f for f in self.functions if not f.replica]
+        for seeds, attr in (
+            (replica_seeds, "replica_context"),
+            (boundary_seeds, "boundary_context"),
+        ):
+            reached: Set[int] = set()
+            stack = list(seeds)
+            while stack:
+                func = stack.pop()
+                if id(func) in reached:
+                    continue
+                reached.add(id(func))
+                setattr(func, attr, True)
+                for callee in self.callees_of(func):
+                    if id(callee) not in reached:
+                        stack.append(callee)
+                for target, _dedicated in self.spawns_of(func):
+                    if id(target) not in reached:
+                        stack.append(target)
+        # A wait site inherits replica context from its calling contexts:
+        # helper-factored waits count as replica-group code.
+        for func in self.functions:
+            if func.replica_context and not func.replica:
+                for site in func.wait_sites:
+                    site.replica = True

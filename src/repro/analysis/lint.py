@@ -35,6 +35,7 @@ class LintResult:
             finding
             for finding in self.findings
             if not finding.suppressed
+            and not finding.baselined
             and (strict or finding.severity == ERROR)
         ]
 
@@ -42,8 +43,8 @@ class LintResult:
         return EXIT_FINDINGS if self.active(strict) else EXIT_CLEAN
 
 
-def run_lint(paths: Sequence[str]) -> LintResult:
-    scans = scan_paths(paths)
+def run_lint(paths: Sequence[str], xfunc: bool = True) -> LintResult:
+    scans = scan_paths(paths, xfunc=xfunc)
     return LintResult(scans=scans, findings=run_rules(scans))
 
 
@@ -66,18 +67,27 @@ def render_text(
             suppressed += 1
             continue
         rule = RULES[finding.rule_id]
+        tag = " [baselined]" if finding.baselined else ""
         lines.append(
             f"{_rel(finding.path, root)}:{finding.lineno}:{finding.col + 1}: "
-            f"{finding.rule_id} [{finding.severity}] {rule.title}: "
+            f"{finding.rule_id} [{finding.severity}]{tag} {rule.title}: "
             f"{finding.message} ({finding.qualname})"
         )
     active = result.active(strict)
     errors = sum(1 for finding in active if finding.severity == ERROR)
-    warnings = len([f for f in result.findings if not f.suppressed]) - errors
-    lines.append(
+    warnings = len(
+        [f for f in result.findings if not f.suppressed and not f.baselined]
+    ) - errors
+    baselined = sum(
+        1 for f in result.findings if f.baselined and not f.suppressed
+    )
+    summary = (
         f"depfast-lint: {len(result.scans)} files, {errors} errors, "
         f"{warnings} warnings, {suppressed} suppressed"
     )
+    if baselined:
+        summary += f", {baselined} baselined"
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -96,6 +106,7 @@ def render_json(
                 "qualname": finding.qualname,
                 "message": finding.message,
                 "suppressed": finding.suppressed,
+                "baselined": finding.baselined,
             }
             for finding in result.findings
         ],
@@ -104,14 +115,23 @@ def render_json(
             "errors": sum(
                 1
                 for finding in result.findings
-                if not finding.suppressed and finding.severity == ERROR
+                if not finding.suppressed
+                and not finding.baselined
+                and finding.severity == ERROR
             ),
             "warnings": sum(
                 1
                 for finding in result.findings
-                if not finding.suppressed and finding.severity != ERROR
+                if not finding.suppressed
+                and not finding.baselined
+                and finding.severity != ERROR
             ),
             "suppressed": sum(1 for f in result.findings if f.suppressed),
+            "baselined": sum(
+                1
+                for f in result.findings
+                if f.baselined and not f.suppressed
+            ),
             "strict": strict,
             "exit_code": result.exit_code(strict),
         },
@@ -124,15 +144,44 @@ def main(
     fmt: str = "text",
     strict: bool = False,
     root: Optional[str] = None,
+    xfunc: bool = True,
+    baseline: Optional[str] = None,
+    write_baseline: Optional[str] = None,
 ) -> int:
     """CLI entry point; prints the report and returns the exit code."""
+    from repro.analysis.baseline import (
+        apply_baseline,
+        load_baseline,
+        render_baseline,
+    )
+
     try:
-        result = run_lint(list(paths))
+        result = run_lint(list(paths), xfunc=xfunc)
     except ScanError as exc:
         print(f"depfast-lint: error: {exc}")
         return EXIT_USAGE
+    if write_baseline is not None:
+        with open(write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_baseline(result.findings, root=root) + "\n")
+        print(
+            f"depfast-lint: wrote baseline with "
+            f"{len([f for f in result.findings if not f.suppressed])} "
+            f"finding(s) to {write_baseline}"
+        )
+        return EXIT_CLEAN
+    if baseline is not None:
+        try:
+            accepted = load_baseline(baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"depfast-lint: error: cannot read baseline: {exc}")
+            return EXIT_USAGE
+        apply_baseline(result.findings, accepted, root=root)
     if fmt == "json":
         print(render_json(result, strict=strict, root=root))
+    elif fmt == "sarif":
+        from repro.analysis.sarif import render_sarif
+
+        print(render_sarif(result, root=root))
     else:
         print(render_text(result, strict=strict, root=root))
     return result.exit_code(strict)

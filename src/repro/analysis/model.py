@@ -83,8 +83,45 @@ RULES: Dict[str, Rule] = {
             "hedged/duplicated send with no cancellation path: losing copies "
             "run to completion and re-impose the straggler's cost",
         ),
+        Rule(
+            "DF008",
+            WARNING,
+            "wall-clock-read",
+            "wall-clock read (time.time / monotonic / datetime.now) in "
+            "sim-driven code: real time leaks into virtual time and every "
+            "golden trace hash silently diverges",
+        ),
+        Rule(
+            "DF009",
+            WARNING,
+            "unseeded-random",
+            "module-level random.* call outside repro.sim.rng: draws from "
+            "the shared unseeded generator, so two runs with the same seed "
+            "make different choices",
+        ),
+        Rule(
+            "DF010",
+            WARNING,
+            "unordered-iteration",
+            "iteration over a set (or other unordered collection) whose "
+            "element order flows into a send/spawn/schedule call: iteration "
+            "order is hash-randomized, so event order differs run to run — "
+            "wrap the iterable in sorted()",
+        ),
+        Rule(
+            "DF011",
+            WARNING,
+            "stale-read-across-yield",
+            "shared self. field snapshotted before a yield and relied on "
+            "after it without revalidation: the field can change while the "
+            "coroutine is parked (the cooperative-runtime analog of a race)",
+        ),
     )
 }
+
+# Rule families: the determinism sanitizer (DF008-DF011) guards the golden
+# trace hashes; everything earlier guards fail-slow tolerance itself.
+SANITIZER_RULES = frozenset({"DF008", "DF009", "DF010", "DF011"})
 
 
 # ---------------------------------------------------------------------------
@@ -101,6 +138,21 @@ COMPOUND_KINDS = frozenset({"and", "or"})
 # self are local (disk, CPU, own promises) and draw no SPG edge.
 LOCAL_SOURCE_EXPRS = frozenset(
     {"None", "self.id", "self.node", "self.node_id", "self.node.node_id"}
+)
+
+# Event constructors tracked for ownership analysis (DF004 leaks) and
+# fresh-event provenance in the interprocedural fixpoint.
+EVENT_CONSTRUCTORS = frozenset(
+    {
+        "Event",
+        "ValueEvent",
+        "RpcEvent",
+        "SharedIntEvent",
+        "QuorumEvent",
+        "AndEvent",
+        "OrEvent",
+        "NeverEvent",
+    }
 )
 
 
@@ -133,6 +185,20 @@ class EventShape:
 
     def is_local(self) -> bool:
         return not self.remote
+
+    def clone(self) -> "EventShape":
+        """Deep copy, so one summary table entry feeds many call sites
+        without sharing mutable quorum state (``.add()`` accounting)."""
+        return EventShape(
+            kind=self.kind,
+            sources=list(self.sources),
+            remote=self.remote,
+            k_expr=self.k_expr,
+            n_expr=self.n_expr,
+            tight=self.tight,
+            children=[child.clone() for child in self.children],
+            added_children=self.added_children,
+        )
 
     def describe(self) -> str:
         if self.is_quorum():
@@ -179,12 +245,30 @@ class WaitSite:
     shape: EventShape
     has_timeout: bool
     dedicated: bool
-    replica: bool  # enclosing class is replica-group code
+    replica: bool  # enclosing class is replica-group code (directly or via
+    # an interprocedural calling context)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One statically-resolvable call expression inside a function body.
+
+    ``is_self`` distinguishes ``self.helper(...)`` (method dispatch through
+    the enclosing class) from a bare ``helper(...)`` (module function or
+    imported name). Calls through other receivers (``self.ep.call``) are
+    not call-graph edges — the shape resolver models those structurally.
+    """
+
+    name: str
+    is_self: bool
+    lineno: int
+    col: int
 
 
 @dataclass
 class FunctionScan:
-    """Static facts about one function definition."""
+    """Static facts about one function definition, plus the summaries the
+    interprocedural fixpoint computes for it."""
 
     qualname: str
     name: str
@@ -196,6 +280,26 @@ class FunctionScan:
     dedicated: bool = False
     callees: Set[str] = field(default_factory=set)
     wait_sites: List[WaitSite] = field(default_factory=list)
+    # -- whole-program fields (populated by scanner + callgraph) --------
+    module: str = ""
+    path: str = ""
+    node: Optional[object] = None  # the ast.FunctionDef, for the rules pass
+    param_names: List[str] = field(default_factory=list)
+    call_sites: List[CallSite] = field(default_factory=list)
+    # Replica context inherited through the call graph: some replica-class
+    # method (transitively) calls this function.
+    replica_context: bool = False
+    # Reachable from non-replica code too (client/driver side).
+    boundary_context: bool = False
+    # -- interprocedural summaries --------------------------------------
+    # The shape this function's ``return`` resolves to, after the fixpoint.
+    return_shape: Optional[EventShape] = None
+    # True when the returned event is freshly constructed here (or by a
+    # leaking callee) and this function neither waits, triggers, stores,
+    # nor composes it: dropping the call's result orphans the event.
+    leaks_return: bool = False
+    # Parameter names this function consumes (waits/triggers/stores/adds).
+    consumed_params: Set[str] = field(default_factory=set)
 
 
 @dataclass
@@ -234,6 +338,9 @@ class Finding:
     qualname: str
     message: str
     suppressed: bool = False
+    # Present in an accepted ``--baseline`` file: reported, but does not
+    # fail the run (only *new* findings gate).
+    baselined: bool = False
 
     @property
     def severity(self) -> str:

@@ -81,18 +81,40 @@ def exprs_equal(a: Optional[str], b: Optional[str]) -> bool:
     return a is not None and b is not None and a == b
 
 
+def callee_ref(func: ast.AST) -> Optional[tuple]:
+    """``(name, is_self)`` for call targets the call graph can resolve:
+    bare names and ``self.method``. Anything else returns ``None``."""
+    if isinstance(func, ast.Name):
+        return (func.id, False)
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "self"
+    ):
+        return (func.attr, True)
+    return None
+
+
 class ShapeResolver:
     """Resolves expressions against an abstract environment.
 
     ``return_shapes`` maps helper-function bare names (methods of the same
     class or module functions) to the shape their ``return`` statement
     resolves to, enabling ``rpc = self._helper(...)`` to see through one
-    call level.
+    call level. ``oracle`` is the interprocedural upgrade: an object with
+    ``callee_return(call)`` / ``self_attr(attr)`` hooks backed by the
+    whole-program fixpoint tables, letting shapes flow through any number
+    of call hops and through ``self.`` attributes.
     """
 
-    def __init__(self, return_shapes: Optional[Dict[str, EventShape]] = None):
+    def __init__(
+        self,
+        return_shapes: Optional[Dict[str, EventShape]] = None,
+        oracle: Optional[object] = None,
+    ):
         self.env: Dict[str, EventShape] = {}
         self.return_shapes = return_shapes or {}
+        self.oracle = oracle
 
     # ------------------------------------------------------------------
     # Statement effects
@@ -137,6 +159,16 @@ class ShapeResolver:
                 inner = self.resolve(node.value)
                 if isinstance(inner, EventShape) and inner.is_quorum():
                     return inner
+            # ``self.attr`` reads resolve through the class-wide attribute
+            # table when the interprocedural oracle is wired in.
+            if (
+                self.oracle is not None
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                shape = self.oracle.self_attr(node.attr)
+                if shape is not None:
+                    return shape
             return UNKNOWN
         if isinstance(node, ast.Await):
             return self.resolve(node.value)
@@ -167,20 +199,18 @@ class ShapeResolver:
             return EventShape(kind="rpc", sources=[target], remote=True)
         if name in _LOCAL_METHODS:
             return local_shape()
-        # One level of interprocedural propagation: self._helper(...) or
-        # module_fn(...) whose return statement resolved to a shape.
+        # Interprocedural propagation: self._helper(...) or module_fn(...)
+        # whose (fixpoint) return summary resolved to a shape. The oracle
+        # sees through any number of hops and across modules; the legacy
+        # ``return_shapes`` map keeps single-module one-hop behavior for
+        # callers that construct a resolver directly.
+        if self.oracle is not None:
+            returned = self.oracle.callee_return(call)
+            if returned is not None:
+                return returned
         returned = self.return_shapes.get(name)
         if returned is not None:
-            return EventShape(
-                kind=returned.kind,
-                sources=list(returned.sources),
-                remote=returned.remote,
-                k_expr=returned.k_expr,
-                n_expr=returned.n_expr,
-                tight=returned.tight,
-                children=list(returned.children),
-                added_children=returned.added_children,
-            )
+            return returned.clone()
         return UNKNOWN
 
     def _resolve_wait(self, call: ast.Call) -> Resolved:

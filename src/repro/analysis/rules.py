@@ -1,7 +1,7 @@
-"""The depfast-lint rule engine: seven static fail-slow tolerance rules.
+"""The depfast-lint rule engine: eleven static rules in two families.
 
-Each rule turns one anti-pattern from the paper's §3.1 discussion into a
-compile-time finding:
+**Fail-slow tolerance** (DF001–DF007) turns the paper's §3.1 anti-pattern
+discussion into compile-time findings:
 
 * **DF001 solo-wait** — a basic-Event inter-node wait in replica-group
   code: the statically-visible version of the SPG's red edge. Dedicated
@@ -11,16 +11,33 @@ compile-time finding:
 * **DF003 blocking-call** — ``time.sleep`` / file IO / socket IO inside a
   coroutine body: blocks the scheduler thread, not just the one task.
 * **DF004 event-leak** — an event constructed and then never waited on,
-  triggered, composed, stored or passed along.
+  triggered, composed, stored or passed along. Interprocedural: an event
+  built any number of helper hops away and dropped at the call site is an
+  orphan too, while an event a callee demonstrably consumes is not.
 * **DF005 tight-quorum** — ``k == n``: nominally a quorum, actually an
   all-wait; every straggler is on the critical path.
 * **DF006 yield-starvation** — a loop with no wait point whose condition
   the body cannot change: a busy-wait that starves cooperative peers.
 * **DF007 fire-and-forget-hedge** — duplicated sends with no cancellation
   path: a ``HedgedCall`` that opts out of loser cancellation, or a loop
-  that fires ``endpoint.call`` copies and drops the returned events. The
-  hedge's whole bargain is "race, then cancel the losers" — without the
-  cancel, every duplicate re-imposes the straggler's cost.
+  that fires ``endpoint.call`` copies and drops the returned events.
+
+**Determinism sanitizer** (DF008–DF011) guards the golden-trace-hash
+infrastructure everything else rests on: one stray wall-clock read or
+hash-ordered iteration feeding a send loop silently breaks bit-for-bit
+reproducibility.
+
+* **DF008 wall-clock-read** — ``time.time()`` and friends in sim-driven
+  code; virtual time comes from the kernel, never the host.
+* **DF009 unseeded-random** — module-level ``random.*`` calls; all
+  randomness must flow from :mod:`repro.sim.rng` streams.
+* **DF010 unordered-iteration** — iterating a ``set`` (or filesystem-
+  ordered listing) and sending/spawning/scheduling per element without
+  ``sorted()``: event order then depends on hash seed, not the program.
+* **DF011 stale-read-across-yield** — a mutable ``self.`` field
+  snapshotted before a yield and relied on after it with no revalidation:
+  the cooperative-runtime analog of a data race (terms change, leaders
+  fall, logs truncate while the coroutine is parked).
 
 Rules only fire on *resolved* facts; expressions the data-flow pass could
 not identify never produce findings.
@@ -29,10 +46,16 @@ not identify never produce findings.
 from __future__ import annotations
 
 import ast
-from typing import Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.analysis.model import EventShape, Finding, WaitSite
-from repro.analysis.resolve import _call_name
+from repro.analysis.model import (
+    EVENT_CONSTRUCTORS,
+    EventShape,
+    Finding,
+    FunctionScan,
+    WaitSite,
+)
+from repro.analysis.resolve import _call_name, callee_ref
 from repro.analysis.scanner import ModuleScan, _iter_own_nodes
 
 # Call targets treated as blocking the OS thread (DF003). Matching is on
@@ -53,17 +76,9 @@ _BLOCKING_CALLS = {
     "input",
 }
 
-# Event constructors tracked for DF004 leak detection.
-_EVENT_CONSTRUCTORS = {
-    "Event",
-    "ValueEvent",
-    "RpcEvent",
-    "SharedIntEvent",
-    "QuorumEvent",
-    "AndEvent",
-    "OrEvent",
-    "NeverEvent",
-}
+# Backwards-compatible alias; the canonical set lives in model.py so the
+# interprocedural fixpoint shares it.
+_EVENT_CONSTRUCTORS = EVENT_CONSTRUCTORS
 
 
 def run_rules(scans: Iterable[ModuleScan]) -> List[Finding]:
@@ -76,15 +91,23 @@ def run_rules(scans: Iterable[ModuleScan]) -> List[Finding]:
 
 def _scan_findings(scan: ModuleScan) -> List[Finding]:
     findings: List[Finding] = []
+    mutable_attrs = _mutable_class_attrs(scan)
+    set_attrs = _set_valued_class_attrs(scan)
     for func, node in _function_nodes(scan):
         for site in func.wait_sites:
             findings.extend(_check_wait_site(site))
         if func.is_coroutine:
             findings.extend(_df003_blocking_calls(scan, func, node))
             findings.extend(_df006_starving_loops(scan, func, node))
+            findings.extend(
+                _df011_stale_reads(scan, func, node, mutable_attrs)
+            )
         findings.extend(_df004_event_leaks(scan, func, node))
         findings.extend(_df005_tight_quorums(scan, func, node))
         findings.extend(_df007_fire_and_forget_hedges(scan, func, node))
+        findings.extend(_df008_wall_clock_reads(scan, func, node))
+        findings.extend(_df009_unseeded_random(scan, func, node))
+        findings.extend(_df010_unordered_iteration(scan, func, node, set_attrs))
     # Apply suppressions.
     for finding in findings:
         if scan.suppressions.allows(finding.rule_id, finding.lineno):
@@ -93,15 +116,21 @@ def _scan_findings(scan: ModuleScan) -> List[Finding]:
 
 
 def _function_nodes(scan: ModuleScan):
-    """Pair each FunctionScan with its AST node (matched by position)."""
-    by_pos = {}
-    for node in ast.walk(scan.tree):
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            by_pos[(node.lineno, node.name)] = node
     for func in scan.functions:
-        node = by_pos.get((func.lineno, func.name))
-        if node is not None:
-            yield func, node
+        if func.node is not None:
+            yield func, func.node
+
+
+def _resolve_call_target(
+    scan: ModuleScan, func: FunctionScan, call: ast.Call
+) -> Optional[FunctionScan]:
+    """Resolve a call through the scan's program call graph, if analyzed."""
+    if scan.program is None:
+        return None
+    ref = callee_ref(call.func)
+    if ref is None:
+        return None
+    return scan.program.resolve_name(func, ref[0], ref[1])
 
 
 # ---------------------------------------------------------------------------
@@ -200,13 +229,13 @@ def _df003_blocking_calls(scan: ModuleScan, func, node: ast.AST) -> List[Finding
 
 
 # ---------------------------------------------------------------------------
-# DF004 — constructed-but-orphaned events
+# DF004 — constructed-but-orphaned events (interprocedural)
 # ---------------------------------------------------------------------------
 
 
 def _df004_event_leaks(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
     findings = []
-    assignments = []  # (name, lineno, col, constructor)
+    assignments = []  # (name, lineno, col, description)
     for child in _iter_own_nodes(node):
         if not isinstance(child, ast.Assign) or len(child.targets) != 1:
             continue
@@ -214,17 +243,26 @@ def _df004_event_leaks(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
         if not isinstance(target, ast.Name) or not isinstance(child.value, ast.Call):
             continue
         ctor = _call_name(child.value.func)
-        if ctor in _EVENT_CONSTRUCTORS:
-            assignments.append((target.id, child.lineno, child.col_offset, ctor, child))
-    if not assignments:
-        return findings
+        if ctor in EVENT_CONSTRUCTORS:
+            assignments.append((target.id, child.lineno, child.col_offset, ctor))
+        else:
+            callee = _resolve_call_target(scan, func, child.value)
+            if callee is not None and callee.leaks_return:
+                assignments.append(
+                    (
+                        target.id,
+                        child.lineno,
+                        child.col_offset,
+                        f"fresh event returned by {callee.qualname}",
+                    )
+                )
     # Count *loads* of each name across the whole function; a constructed
     # event whose variable is never read again can never trigger a waiter.
     loads: Set[str] = set()
     for child in _iter_own_nodes(node):
         if isinstance(child, ast.Name) and isinstance(child.ctx, ast.Load):
             loads.add(child.id)
-    for name, lineno, col, ctor, _stmt in assignments:
+    for name, lineno, col, ctor in assignments:
         if name not in loads:
             findings.append(
                 Finding(
@@ -237,6 +275,29 @@ def _df004_event_leaks(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
                         f"event {name!r} ({ctor}) is constructed but never "
                         "waited on, triggered, or composed — an orphaned "
                         "event leaves any future waiter parked forever"
+                    ),
+                )
+            )
+    # Dropped fresh-returning calls: ``self._make_event(...)`` as a bare
+    # expression statement, where the (transitive) callee returns an event
+    # it never consumed. The event is born orphaned at this call site.
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.Expr) or not isinstance(child.value, ast.Call):
+            continue
+        callee = _resolve_call_target(scan, func, child.value)
+        if callee is not None and callee.leaks_return:
+            findings.append(
+                Finding(
+                    rule_id="DF004",
+                    path=scan.path,
+                    lineno=child.lineno,
+                    col=child.col_offset,
+                    qualname=func.qualname,
+                    message=(
+                        f"{callee.qualname}() returns a freshly-constructed "
+                        "event that is dropped here — neither this caller "
+                        "nor the callee ever waits on, triggers, or stores "
+                        "it, so any coroutine parked on it waits forever"
                     ),
                 )
             )
@@ -425,3 +486,341 @@ def _kwarg_is_false(call: ast.Call, name: str) -> bool:
         ):
             return True
     return False
+
+
+# ---------------------------------------------------------------------------
+# DF008 — wall-clock reads (determinism sanitizer)
+# ---------------------------------------------------------------------------
+
+# Exact dotted names that read the host's clock. ``self.clock.now`` and
+# other project abstractions deliberately do not match.
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "date.today",
+}
+
+
+def _df008_wall_clock_reads(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
+    findings = []
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.Call):
+            continue
+        dotted = _dotted_name(child.func)
+        if dotted in _WALL_CLOCK_CALLS:
+            findings.append(
+                Finding(
+                    rule_id="DF008",
+                    path=scan.path,
+                    lineno=child.lineno,
+                    col=child.col_offset,
+                    qualname=func.qualname,
+                    message=(
+                        f"wall-clock read {dotted}() in sim-driven code: "
+                        "real time leaks into the deterministic simulation "
+                        "and golden trace hashes diverge between runs — "
+                        "use the kernel's virtual clock (kernel.now)"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DF009 — unseeded randomness (determinism sanitizer)
+# ---------------------------------------------------------------------------
+
+
+def _df009_unseeded_random(scan: ModuleScan, func, node: ast.AST) -> List[Finding]:
+    findings = []
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.Call):
+            continue
+        dotted = _dotted_name(child.func)
+        if dotted is None:
+            continue
+        flagged = False
+        if dotted.startswith(("random.", "np.random.", "numpy.random.")):
+            # ``random.Random(seed)`` constructs an explicitly-seeded
+            # stream (how repro.sim.rng builds its registry) — fine.
+            tail = dotted.rsplit(".", 1)[1]
+            flagged = not (tail == "Random" and (child.args or child.keywords))
+        if flagged:
+            findings.append(
+                Finding(
+                    rule_id="DF009",
+                    path=scan.path,
+                    lineno=child.lineno,
+                    col=child.col_offset,
+                    qualname=func.qualname,
+                    message=(
+                        f"{dotted}() draws from the shared, unseeded "
+                        "module-level generator: two runs with the same "
+                        "seed diverge — draw from a named repro.sim.rng "
+                        "RngRegistry stream instead"
+                    ),
+                )
+            )
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# DF010 — unordered iteration feeding sends (determinism sanitizer)
+# ---------------------------------------------------------------------------
+
+_UNORDERED_CONSTRUCTORS = {"set", "frozenset"}
+# Filesystem-order listings: element order is whatever the OS returns.
+_FS_ORDER_CALLS = {"listdir", "scandir", "glob", "iglob"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference"}
+# Calls inside the loop body whose *order of invocation* becomes event
+# order in the simulation (sends, spawns, timer scheduling).
+_ORDER_SINKS = {
+    "send",
+    "spawn",
+    "schedule",
+    "call",
+    "call_at",
+    "call_later",
+    "trigger",
+    "enqueue",
+}
+
+
+def _set_valued_class_attrs(scan: ModuleScan) -> Set[Tuple[str, str]]:
+    """``(class_name, attr)`` pairs assigned a set anywhere in the class."""
+    attrs: Set[Tuple[str, str]] = set()
+    for func in scan.functions:
+        if func.class_name is None or func.node is None:
+            continue
+        for node in _iter_own_nodes(func.node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            if value is None or not _is_set_expr(value, set(), set(), None):
+                continue
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add((func.class_name, target.attr))
+    return attrs
+
+
+def _is_set_expr(
+    expr: ast.AST,
+    set_locals: Set[str],
+    set_attrs: Set[Tuple[str, str]],
+    class_name: Optional[str],
+) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        name = _call_name(expr.func)
+        if name in _UNORDERED_CONSTRUCTORS or name in _FS_ORDER_CALLS:
+            return True
+        if name in _SET_METHODS and isinstance(expr.func, ast.Attribute):
+            return True
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id in set_locals
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and class_name is not None
+    ):
+        return (class_name, expr.attr) in set_attrs
+    if isinstance(expr, ast.BinOp) and isinstance(
+        expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(
+            expr.left, set_locals, set_attrs, class_name
+        ) or _is_set_expr(expr.right, set_locals, set_attrs, class_name)
+    return False
+
+
+def _df010_unordered_iteration(
+    scan: ModuleScan,
+    func,
+    node: ast.AST,
+    set_attrs: Set[Tuple[str, str]],
+) -> List[Finding]:
+    findings = []
+    # Locals assigned a set-shaped value anywhere in the function.
+    set_locals: Set[str] = set()
+    for child in _iter_own_nodes(node):
+        if isinstance(child, ast.Assign):
+            if _is_set_expr(child.value, set_locals, set_attrs, func.class_name):
+                for target in child.targets:
+                    if isinstance(target, ast.Name):
+                        set_locals.add(target.id)
+    for child in _iter_own_nodes(node):
+        if not isinstance(child, ast.For):
+            continue
+        if not _is_set_expr(child.iter, set_locals, set_attrs, func.class_name):
+            continue
+        sink = _first_order_sink(child)
+        if sink is None:
+            continue
+        findings.append(
+            Finding(
+                rule_id="DF010",
+                path=scan.path,
+                lineno=child.lineno,
+                col=child.col_offset,
+                qualname=func.qualname,
+                message=(
+                    "iterating an unordered collection and calling "
+                    f"{sink}() per element: iteration order is "
+                    "hash-randomized, so the event schedule differs run "
+                    "to run — wrap the iterable in sorted()"
+                ),
+            )
+        )
+    return findings
+
+
+def _first_order_sink(loop: ast.For) -> Optional[str]:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Call):
+            name = _call_name(node.func)
+            if name in _ORDER_SINKS:
+                return name
+    return None
+
+
+# ---------------------------------------------------------------------------
+# DF011 — stale reads across yield points (determinism sanitizer)
+# ---------------------------------------------------------------------------
+
+
+def _mutable_class_attrs(scan: ModuleScan) -> Dict[str, Set[str]]:
+    """Per class: ``self.`` attributes assigned outside ``__init__`` —
+    shared state that can change while a coroutine is parked."""
+    mutable: Dict[str, Set[str]] = {}
+    for func in scan.functions:
+        if func.class_name is None or func.node is None:
+            continue
+        if func.name == "__init__":
+            continue
+        for node in _iter_own_nodes(func.node):
+            if not isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    mutable.setdefault(func.class_name, set()).add(target.attr)
+    return mutable
+
+
+def _df011_stale_reads(
+    scan: ModuleScan,
+    func,
+    node: ast.AST,
+    mutable_attrs: Dict[str, Set[str]],
+) -> List[Finding]:
+    # Only replica-group coroutines: that is where shared state (terms,
+    # leadership, logs) changes underneath parked coroutines.
+    if func.class_name is None or not (func.replica or func.replica_context):
+        return []
+    attrs = mutable_attrs.get(func.class_name, set())
+    if not attrs:
+        return []
+    snapshots = []  # (var, attr, lineno)
+    yields: List[int] = []
+    loads: Dict[str, List[int]] = {}
+    stores: Dict[str, List[int]] = {}
+    attr_loads: Dict[str, List[int]] = {}
+    for child in _iter_own_nodes(node):
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            yields.append(child.lineno)
+        elif isinstance(child, ast.Name):
+            target = loads if isinstance(child.ctx, ast.Load) else stores
+            target.setdefault(child.id, []).append(child.lineno)
+        elif (
+            isinstance(child, ast.Attribute)
+            and isinstance(child.ctx, ast.Load)
+            and isinstance(child.value, ast.Name)
+            and child.value.id == "self"
+        ):
+            attr_loads.setdefault(child.attr, []).append(child.lineno)
+        if isinstance(child, ast.Assign) and len(child.targets) == 1:
+            target = child.targets[0]
+            value = child.value
+            if (
+                isinstance(target, ast.Name)
+                and isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self"
+                and value.attr in attrs
+            ):
+                snapshots.append((target.id, value.attr, child.lineno))
+    if not snapshots or not yields:
+        return []
+    yields.sort()
+    findings = []
+    flagged: Set[Tuple[str, int]] = set()
+    for var, attr, taken_at in snapshots:
+        first_yield = next((y for y in yields if y > taken_at), None)
+        if first_yield is None:
+            continue
+        # The snapshot dies at its next re-assignment (refreshed value).
+        kills = [
+            line
+            for line in stores.get(var, [])
+            if line > taken_at and line != taken_at
+        ]
+        horizon = min(kills) if kills else float("inf")
+        if horizon <= first_yield:
+            continue  # refreshed before ever crossing a yield
+        stale_uses = [
+            line
+            for line in loads.get(var, [])
+            if first_yield < line < horizon
+        ]
+        if not stale_uses:
+            continue
+        # Revalidation: the function re-reads self.<attr> after the yield
+        # (typically to compare against the snapshot and bail out).
+        if any(line > first_yield for line in attr_loads.get(attr, [])):
+            continue
+        use = min(stale_uses)
+        if (var, taken_at) in flagged:
+            continue
+        flagged.add((var, taken_at))
+        findings.append(
+            Finding(
+                rule_id="DF011",
+                path=scan.path,
+                lineno=taken_at,
+                col=0,
+                qualname=func.qualname,
+                message=(
+                    f"{var!r} snapshots self.{attr} here and is relied on "
+                    f"after a yield (line {use}) without revalidation: "
+                    f"self.{attr} can change while this coroutine is "
+                    "parked — re-read it after resuming, or compare and "
+                    "bail out on mismatch"
+                ),
+            )
+        )
+    return findings

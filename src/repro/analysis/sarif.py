@@ -1,0 +1,85 @@
+"""SARIF 2.1.0 emitter: ``repro lint --format sarif``.
+
+One run, one driver (``depfast-lint``), every rule declared up front with
+its default level, one result per finding. Suppressed findings ride along
+as SARIF ``suppressions`` (kind ``inSource``) and baselined ones carry
+``baselineState: "unchanged"``, so SARIF viewers and code-scanning UIs
+fold them the same way the text renderer does.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.analysis.model import ERROR, RULES
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _level(severity: str) -> str:
+    return "error" if severity == ERROR else "warning"
+
+
+def render_sarif(result, root: Optional[str] = None) -> str:
+    from repro.analysis.baseline import fingerprint
+    from repro.analysis.lint import _rel
+
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.title,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": _level(rule.severity)},
+        }
+        for rule in sorted(RULES.values(), key=lambda r: r.rule_id)
+    ]
+    results = []
+    for finding in result.findings:
+        entry = {
+            "ruleId": finding.rule_id,
+            "level": _level(finding.severity),
+            "message": {"text": f"{finding.message} ({finding.qualname})"},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _rel(finding.path, root).replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.lineno,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {
+                "depfast/v1": fingerprint(finding, root),
+            },
+        }
+        if finding.suppressed:
+            entry["suppressions"] = [{"kind": "inSource"}]
+        if finding.baselined:
+            entry["baselineState"] = "unchanged"
+        results.append(entry)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "depfast-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,4 +1,5 @@
-"""AST scanner: walk generator coroutines and extract their wait points.
+"""AST scanner: parse modules and extract the structural facts the
+whole-program analysis runs on.
 
 One :class:`ModuleScan` per file. The scanner
 
@@ -7,13 +8,16 @@ One :class:`ModuleScan` per file. The scanner
 * detects **replica-group classes** — classes that guard group membership
   (``if node_id not in group: raise``) or compute a ``self.peers`` list —
   which is where the paper's §3.1 quorum-only property applies;
-* marks **dedicated** coroutines: generator functions spawned with
-  ``dedication=...`` (plus their exclusive callees), the static analog of
-  the runtime checker's per-peer-stream exemption;
-* resolves each ``yield`` wait point's event expression through
-  :mod:`repro.analysis.resolve` into a :class:`WaitSite`;
+* records every resolvable **call site** (``self.method`` dispatch and
+  bare-name calls) so :mod:`repro.analysis.callgraph` can link the
+  program together;
 * parses ``# depfast: allow(DFnnn)`` / ``# depfast: allow-file(DFnnn)``
   suppression comments.
+
+Shape resolution itself — wait sites, dedication, interprocedural
+summaries — happens in :mod:`repro.analysis.interproc`, which
+:func:`scan_module` / :func:`scan_paths` invoke so a freshly-scanned
+module always carries its wait sites.
 """
 
 from __future__ import annotations
@@ -22,16 +26,13 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set
 
 from repro.analysis.model import (
-    EventShape,
+    CallSite,
     FunctionScan,
     Suppressions,
-    WaitExpr,
-    WaitSite,
 )
-from repro.analysis.resolve import ShapeResolver, _call_name
 
 _ALLOW_RE = re.compile(r"#\s*depfast:\s*(allow|allow-file)\(([^)]*)\)")
 _RULE_SPLIT_RE = re.compile(r"[,\s]+")
@@ -49,6 +50,8 @@ class ModuleScan:
     suppressions: Suppressions = field(default_factory=Suppressions)
     # qualname -> FunctionScan for call-graph lookups.
     by_name: Dict[str, FunctionScan] = field(default_factory=dict)
+    # The Program this scan was last analyzed under (set by analyze()).
+    program: Optional[object] = None
 
 
 class ScanError(RuntimeError):
@@ -75,7 +78,15 @@ def collect_files(paths: Iterable[str]) -> List[str]:
             files.append(path)
         else:
             raise ScanError(f"not a python file or directory: {path}")
-    return files
+    # Whole-program results must not depend on argument order: the same
+    # file set always analyzes in the same sequence.
+    seen: Set[str] = set()
+    ordered: List[str] = []
+    for file in sorted(files):
+        if file not in seen:
+            seen.add(file)
+            ordered.append(file)
+    return ordered
 
 
 def _module_name(path: str) -> str:
@@ -170,156 +181,35 @@ def _class_is_replica(cls: ast.ClassDef) -> bool:
     return False
 
 
-def _callees(func: ast.AST) -> Set[str]:
-    """Bare names of self-methods / local functions this function calls."""
-    names: Set[str] = set()
+def _call_sites(func: ast.AST) -> List[CallSite]:
+    """Resolvable call sites: ``self.method(...)`` and bare ``name(...)``,
+    in deterministic source order."""
+    sites: List[CallSite] = []
     for node in _iter_own_nodes(func):
-        if isinstance(node, ast.Call):
-            target = node.func
-            if (
-                isinstance(target, ast.Attribute)
-                and isinstance(target.value, ast.Name)
-                and target.value.id == "self"
-            ):
-                names.add(target.attr)
-            elif isinstance(target, ast.Name):
-                names.add(target.id)
-    return names
-
-
-def _dedicated_spawn_targets(tree: ast.Module) -> Set[str]:
-    """Functions spawned with ``dedication=...`` anywhere in the module."""
-    targets: Set[str] = set()
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call) or _call_name(node.func) != "spawn":
+        if not isinstance(node, ast.Call):
             continue
-        dedication = next(
-            (kw.value for kw in node.keywords if kw.arg == "dedication"), None
-        )
-        if dedication is None or (
-            isinstance(dedication, ast.Constant) and dedication.value is None
+        target = node.func
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
         ):
-            continue
-        if node.args and isinstance(node.args[0], ast.Call):
-            name = _call_name(node.args[0].func)
-            if name is not None:
-                targets.add(name)
-    return targets
-
-
-# ---------------------------------------------------------------------------
-# Wait-site extraction (ordered statement walk)
-# ---------------------------------------------------------------------------
-
-
-class _FunctionWalker:
-    """Processes one function's statements in source order, resolving the
-    event expression of every ``yield`` against the running environment."""
-
-    def __init__(
-        self,
-        scan: ModuleScan,
-        func_scan: FunctionScan,
-        func_node: ast.AST,
-        return_shapes: Dict[str, EventShape],
-    ):
-        self.scan = scan
-        self.func = func_scan
-        self.resolver = ShapeResolver(return_shapes)
-        self.return_shape: Optional[EventShape] = None
-        self.unresolved_yields = 0
-        self._walk(func_node.body)
-
-    # -- statement dispatch -------------------------------------------
-    def _walk(self, stmts: List[ast.stmt]) -> None:
-        for stmt in stmts:
-            self._statement(stmt)
-
-    def _statement(self, stmt: ast.stmt) -> None:
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            return
-        self._extract_yields(stmt)
-        self._observe_calls(stmt)
-        if isinstance(stmt, ast.Assign) and not self._has_yield(stmt.value):
-            for target in stmt.targets:
-                self.resolver.assign(target, stmt.value)
-        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
-            if not self._has_yield(stmt.value):
-                self.resolver.assign(stmt.target, stmt.value)
-        elif isinstance(stmt, ast.Return) and stmt.value is not None:
-            resolved = self.resolver.resolve(stmt.value)
-            if isinstance(resolved, EventShape):
-                self.return_shape = resolved
-        # Recurse into nested blocks with the same environment (no branch
-        # merging: protocol code is overwhelmingly straight-line per block).
-        for block in ("body", "orelse", "finalbody"):
-            children = getattr(stmt, block, None)
-            if children and not isinstance(stmt, (ast.Assign, ast.AnnAssign)):
-                self._walk(children)
-        for handler in getattr(stmt, "handlers", []) or []:
-            self._walk(handler.body)
-
-    # -- helpers -------------------------------------------------------
-    def _statement_expressions(self, stmt: ast.stmt):
-        """Expression roots of a statement, excluding its nested blocks."""
-        for name, value in ast.iter_fields(stmt):
-            if name in ("body", "orelse", "finalbody", "handlers"):
-                continue
-            if isinstance(value, ast.expr):
-                yield value
-            elif isinstance(value, list):
-                for item in value:
-                    if isinstance(item, ast.expr):
-                        yield item
-
-    def _iter_exprs(self, stmt: ast.stmt):
-        for root in self._statement_expressions(stmt):
-            stack = [root]
-            while stack:
-                node = stack.pop()
-                if isinstance(node, ast.Lambda):
-                    continue
-                yield node
-                stack.extend(ast.iter_child_nodes(node))
-
-    def _has_yield(self, expr: ast.AST) -> bool:
-        return any(
-            isinstance(node, (ast.Yield, ast.YieldFrom)) for node in ast.walk(expr)
-        )
-
-    def _extract_yields(self, stmt: ast.stmt) -> None:
-        yields = [
-            node
-            for node in self._iter_exprs(stmt)
-            if isinstance(node, ast.Yield) and node.value is not None
-        ]
-        for node in sorted(yields, key=lambda item: (item.lineno, item.col_offset)):
-            resolved = self.resolver.resolve(node.value)
-            if isinstance(resolved, WaitExpr):
-                shape, has_timeout = resolved.shape, resolved.has_timeout
-            elif isinstance(resolved, EventShape):
-                shape, has_timeout = resolved, False  # ``yield event`` shorthand
-            else:
-                self.unresolved_yields += 1
-                continue
-            self.func.wait_sites.append(
-                WaitSite(
-                    path=self.scan.path,
-                    module=self.scan.module,
-                    qualname=self.func.qualname,
-                    lineno=node.lineno,
-                    col=node.col_offset,
-                    shape=shape,
-                    has_timeout=has_timeout,
-                    dedicated=self.func.dedicated,
-                    replica=self.func.replica,
-                )
+            sites.append(
+                CallSite(target.attr, True, node.lineno, node.col_offset)
             )
+        elif isinstance(target, ast.Name):
+            sites.append(
+                CallSite(target.id, False, node.lineno, node.col_offset)
+            )
+    sites.sort(key=lambda site: (site.lineno, site.col, site.name))
+    return sites
 
-    def _observe_calls(self, stmt: ast.stmt) -> None:
-        calls = [node for node in self._iter_exprs(stmt) if isinstance(node, ast.Call)]
-        for call in sorted(calls, key=lambda item: (item.lineno, item.col_offset)):
-            self.resolver.observe_call(call)
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs] + [a.arg for a in args.args]
+    names += [a.arg for a in args.kwonlyargs]
+    return names
 
 
 # ---------------------------------------------------------------------------
@@ -327,7 +217,8 @@ class _FunctionWalker:
 # ---------------------------------------------------------------------------
 
 
-def scan_module(path: str) -> ModuleScan:
+def parse_module(path: str) -> ModuleScan:
+    """Parse one file and extract structure; no shape analysis yet."""
     try:
         with open(path, "r", encoding="utf-8") as handle:
             source = handle.read()
@@ -342,8 +233,6 @@ def scan_module(path: str) -> ModuleScan:
         source_lines=source_lines,
         suppressions=parse_suppressions(source_lines),
     )
-
-    functions: List[Tuple[ast.AST, FunctionScan]] = []
 
     def visit_body(body, class_name: Optional[str], replica: bool, prefix: str):
         for node in body:
@@ -363,64 +252,43 @@ def scan_module(path: str) -> ModuleScan:
                     is_coroutine=_contains_yield(node),
                     class_name=class_name,
                     replica=replica,
-                    callees=_callees(node),
+                    callees={site.name for site in _call_sites(node)},
+                    module=scan.module,
+                    path=scan.path,
+                    node=node,
+                    param_names=_param_names(node),
+                    call_sites=_call_sites(node),
                 )
-                functions.append((node, func_scan))
                 scan.functions.append(func_scan)
                 scan.by_name[func_scan.name] = func_scan
                 visit_body(node.body, class_name, replica, f"{prefix}{node.name}.")
 
     visit_body(tree.body, None, False, "")
 
-    # Dedication: spawn targets with dedication=..., closed over functions
-    # reachable *only* from dedicated coroutines.
-    _propagate_dedication(scan, _dedicated_spawn_targets(tree))
-
     # def-line suppressions extend over the whole function body.
-    for _node, func_scan in functions:
+    for func_scan in scan.functions:
         rules = scan.suppressions.line_rules.get(func_scan.lineno)
         if rules:
             scan.suppressions.span_rules.append(
                 (func_scan.lineno, func_scan.end_lineno, set(rules))
             )
-
-    # Pass 1: infer helper return shapes; pass 2: extract wait sites.
-    return_shapes: Dict[str, EventShape] = {}
-    for node, func_scan in functions:
-        walker = _FunctionWalker(scan, func_scan, node, {})
-        func_scan.wait_sites.clear()
-        if walker.return_shape is not None:
-            return_shapes[func_scan.name] = walker.return_shape
-    for node, func_scan in functions:
-        func_scan.wait_sites.clear()
-        _FunctionWalker(scan, func_scan, node, return_shapes)
     return scan
 
 
-def _propagate_dedication(scan: ModuleScan, roots: Set[str]) -> None:
-    """A function is dedicated if it is a dedicated spawn target, or if
-    every function that calls it is itself dedicated (fixpoint)."""
-    callers: Dict[str, Set[str]] = {}
-    for func in scan.functions:
-        for callee in func.callees:
-            callers.setdefault(callee, set()).add(func.name)
-    dedicated: Set[str] = set(roots)
-    changed = True
-    while changed:
-        changed = False
-        for func in scan.functions:
-            if func.name in dedicated:
-                continue
-            calling = callers.get(func.name, set())
-            if calling and calling <= dedicated:
-                dedicated.add(func.name)
-                changed = True
-    for func in scan.functions:
-        if func.name in dedicated:
-            func.dedicated = True
-            for site in func.wait_sites:
-                site.dedicated = True
+def scan_module(path: str) -> ModuleScan:
+    """Parse + analyze one file as its own single-module program."""
+    from repro.analysis.interproc import analyze
+
+    scan = parse_module(path)
+    analyze([scan])
+    return scan
 
 
-def scan_paths(paths: Iterable[str]) -> List[ModuleScan]:
-    return [scan_module(path) for path in collect_files(paths)]
+def scan_paths(paths: Iterable[str], xfunc: bool = True) -> List[ModuleScan]:
+    """Parse + analyze a file set as one whole program (the default), or
+    per-module with ``xfunc=False``."""
+    from repro.analysis.interproc import analyze
+
+    scans = [parse_module(path) for path in collect_files(paths)]
+    analyze(scans, xfunc=xfunc)
+    return scans

@@ -15,6 +15,11 @@ edges because it watched real waits. Statically we cannot know that
 
 The differ (:mod:`repro.analysis.spgdiff`) then asks, for every concrete
 runtime edge, whether a static edge class predicts it.
+
+Scopes are *calling-context* facts, not lexical ones: a wait site factored
+into a helper module emits a ``group`` edge when the whole-program call
+graph shows replica code reaching it, and a ``boundary`` edge when client
+or driver code does — one site can legitimately predict both.
 """
 
 from __future__ import annotations
@@ -101,12 +106,30 @@ def build_static_spg(scans: Iterable[ModuleScan]) -> StaticSpg:
     for scan in scans:
         for func in scan.functions:
             for site in func.wait_sites:
-                spg.edges.extend(_site_edges(site))
+                spg.edges.extend(_site_edges(func, site))
     return spg
 
 
-def _site_edges(site: WaitSite) -> List[StaticEdge]:
-    scope = "group" if site.replica else "boundary"
+def _site_scopes(func, site: WaitSite) -> List[str]:
+    """Every scope this wait can run under, per the call graph.
+
+    ``site.replica`` covers both lexically-replica code and helper sites
+    upgraded by replica calling contexts. A site *also* serves boundary
+    traffic when non-replica code reaches its function — unless the
+    function is itself a replica-class method, where external calls
+    arrive over RPC (a separate wait) rather than through the graph.
+    """
+    scopes: List[str] = []
+    if site.replica:
+        scopes.append("group")
+    if not site.replica or (
+        getattr(func, "boundary_context", False) and not func.replica
+    ):
+        scopes.append("boundary")
+    return scopes
+
+
+def _site_edges(func, site: WaitSite) -> List[StaticEdge]:
     return [
         StaticEdge(
             path=site.path,
@@ -117,5 +140,6 @@ def _site_edges(site: WaitSite) -> List[StaticEdge]:
             dedicated=site.dedicated,
             label=site.shape.describe(),
         )
+        for scope in _site_scopes(func, site)
         for color in _shape_colors(site.shape)
     ]

@@ -16,6 +16,10 @@ Two measurements, both over real (wall-clock) time:
 CLI: ``python -m repro profile <scenario>`` (see ``repro.cli``).
 """
 
+# depfast: allow-file(DF008) — this module's whole purpose is comparing
+# host wall-clock time against virtual time (events/sec, speedup ratios);
+# the perf_counter() reads never feed back into the simulation.
+
 from __future__ import annotations
 
 import json

@@ -79,6 +79,9 @@ class ChainNode:
             return {"ok": False, "redirect": self.head}
         yield self.rt.compute(cfg.client_op_cost_ms, name="client-op")
         self._next_seq += 1
+        # depfast: allow(DF011) — ``seq`` is an allocation, not a snapshot:
+        # each request owns the number it drew, and ``self._next_seq``
+        # advancing while we are parked is other requests drawing theirs.
         seq = self._next_seq
         # The wait point of chain replication: one event, sourced at the
         # tail. The SPG shows it as a red head→tail edge; the tolerance

@@ -210,7 +210,14 @@ def _cmd_profile(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.analysis.lint import main as lint_main
 
-    return lint_main(args.paths, fmt=args.format, strict=args.strict)
+    return lint_main(
+        args.paths,
+        fmt=args.format,
+        strict=args.strict,
+        xfunc=not args.no_xfunc,
+        baseline=args.baseline,
+        write_baseline=args.write_baseline,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -343,12 +350,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to scan (default: src/repro)",
     )
     lint.add_argument(
-        "--format", choices=("text", "json"), default="text", help="report format"
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format",
     )
     lint.add_argument(
         "--strict",
         action="store_true",
         help="warnings also fail the run (exit 1)",
+    )
+    lint.add_argument(
+        "--no-xfunc",
+        action="store_true",
+        help="disable whole-program (cross-module) analysis: each module "
+        "is analyzed on its own, matching the pre-interprocedural linter",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="accepted-findings file: only findings NOT in the baseline "
+        "gate the exit code (no-new-findings mode)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        default=None,
+        help="write the current findings as a fresh baseline and exit 0",
     )
     lint.set_defaults(func=_cmd_lint)
     return parser

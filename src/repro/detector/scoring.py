@@ -83,7 +83,16 @@ class LinkScore:
         if self.rtt_ewma_ms is None:
             self.rtt_ewma_ms = latency_ms
         else:
-            self.rtt_ewma_ms += alpha * (latency_ms - self.rtt_ewma_ms)
+            updated = self.rtt_ewma_ms + alpha * (latency_ms - self.rtt_ewma_ms)
+            # In exact arithmetic the update is a convex combination, so it
+            # lies between the old EWMA and the new sample; float rounding
+            # can land one ulp outside that hull (e.g. alpha == 1.0 with a
+            # large magnitude drop). Clamp back so the invariant the rest
+            # of the detector relies on — EWMA within observed range —
+            # holds bit-for-bit.
+            lo = min(self.rtt_ewma_ms, latency_ms)
+            hi = max(self.rtt_ewma_ms, latency_ms)
+            self.rtt_ewma_ms = min(max(updated, lo), hi)
 
     def observe_round(self, in_quorum: bool, alpha: float) -> None:
         self.rounds += 1

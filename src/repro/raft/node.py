@@ -954,6 +954,9 @@ class RaftNode:
             yield self.rt.sleep(0.5)
         if self.role != Role.LEADER:
             return {"ok": False, "redirect": self.leader_hint}
+        # depfast: allow(DF011) — the pre-confirmation snapshot IS the
+        # ReadIndex protocol (Raft §6.4): the read must wait for the index
+        # the leader held *before* proving leadership, not a fresher one.
         read_index = self.commit_index
         if not (cfg.read_mode == "lease" and self.rt.now < self._lease_until):
             confirmed = yield from self._confirm_leadership()
@@ -971,6 +974,9 @@ class RaftNode:
         """One read_index round: a quorum of voters still follows this leader."""
         if not self.voting_peers():
             return True
+        # depfast: allow(DF011) — ``term`` is deliberately the pre-probe
+        # snapshot: _leading(term) compares it against the *current*
+        # self.term, which is exactly the revalidation the rule asks for.
         term = self.term
         self.read_probes += 1
         call = QuorumCall(
@@ -985,6 +991,9 @@ class RaftNode:
             name=f"{self.id}:read-probe",
         )
         yield call.wait(timeout_ms=self.config.vote_rpc_timeout_ms)
+        # depfast: allow(DF011) — ``term`` is deliberately the pre-probe
+        # snapshot: _leading(term) compares it against the *current*
+        # self.term, which is exactly the revalidation the rule asks for.
         return call.event.ready() and self._leading(term)
 
     def _on_read_probe(self, payload: Dict[str, Any], src: str) -> Generator:

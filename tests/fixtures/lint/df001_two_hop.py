@@ -1,0 +1,23 @@
+"""DF001/DF002 interprocedural: the waited event is built two call hops
+away — the wait site itself never names a constructor."""
+
+from repro.events.basic import Event
+
+
+class TwoHopSolo:
+    def __init__(self, node_id, group):
+        if node_id not in group:
+            raise ValueError(node_id)
+        self.id = node_id
+        self.group = group
+
+    def replicate(self, op):
+        ack = self._remote_ack(op)
+        result = yield ack.wait()  # line 16: DF001 + DF002 (two hops away)
+        return result
+
+    def _remote_ack(self, op):
+        return self._build(op)
+
+    def _build(self, op):
+        return Event(name="ack", source="s2")

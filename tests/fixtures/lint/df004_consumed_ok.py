@@ -1,0 +1,32 @@
+"""DF004 false-positive guard: events a callee demonstrably consumes
+(triggers, or hands to a consuming helper) are not leaks — zero findings."""
+
+from repro.events.basic import Event
+
+
+class ConsumingCallee:
+    def __init__(self, runtime):
+        self.rt = runtime
+        self.pending = {}
+
+    def handle(self, op):
+        self._tick()  # clean: _tick triggers the event before returning it
+        self._announce(op)  # clean: the chain stashes the event for waiters
+        yield self.rt.sleep(1.0)
+        return op
+
+    def _tick(self):
+        done = Event(name="tick")
+        done.trigger(None)
+        return done
+
+    def _announce(self, op):
+        ack = self._make_ack(op)
+        self._stash(op, ack)
+        return ack
+
+    def _make_ack(self, op):
+        return Event(name="ack", source="s2")
+
+    def _stash(self, op, ack):
+        self.pending[op] = ack

@@ -1,0 +1,20 @@
+"""DF004 interprocedural: a helper chain returns a freshly-constructed
+event nobody consumes — dropping the call orphans it two hops away."""
+
+from repro.events.basic import Event
+
+
+class TwoHopLeaker:
+    def __init__(self, runtime):
+        self.rt = runtime
+
+    def handle(self, op):
+        self._announce(op)  # line 12: DF004 (fresh event dropped here)
+        yield self.rt.sleep(1.0)
+        return op
+
+    def _announce(self, op):
+        return self._make_ack(op)
+
+    def _make_ack(self, op):
+        return Event(name="ack", source="s2")

@@ -1,0 +1,13 @@
+"""DF008: a wall-clock read inside sim-driven code."""
+
+import time
+
+
+class ClockLeaker:
+    def __init__(self, runtime):
+        self.rt = runtime
+
+    def handle(self, op):
+        started = time.time()  # line 11: DF008 (host clock in sim code)
+        yield self.rt.sleep(1.0)
+        return (op, started)

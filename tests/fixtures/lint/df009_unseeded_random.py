@@ -1,0 +1,11 @@
+"""DF009: drawing from the shared module-level random generator."""
+
+import random
+
+
+def jittered_delay(base_ms):
+    # An explicitly-seeded stream is fine (this is how repro.sim.rng
+    # builds its registry):
+    rng = random.Random(42)
+    seeded = rng.random()
+    return base_ms * (1.0 + random.random()) + seeded  # line 11: DF009

@@ -1,0 +1,16 @@
+"""DF010: iterating a set and sending per element — event order then
+depends on the hash seed, not the program."""
+
+
+class Broadcaster:
+    def __init__(self, endpoint, members):
+        self.ep = endpoint
+        self.members = set(members)
+
+    def broadcast(self, op):
+        for peer in self.members:  # line 11: DF010 (unordered send loop)
+            self.ep.send(peer, "op", {"op": op})
+
+    def broadcast_sorted(self, op):
+        for peer in sorted(self.members):  # clean: order pinned
+            self.ep.send(peer, "op", {"op": op})

@@ -1,0 +1,25 @@
+"""DF011: a mutable shared field snapshotted before a yield and relied on
+after it with no revalidation."""
+
+
+class StaleReader:
+    def __init__(self, node_id, group, runtime):
+        if node_id not in group:
+            raise ValueError(node_id)
+        self.id = node_id
+        self.term = 0
+        self.rt = runtime
+
+    def campaign(self):
+        self.term += 1
+        term = self.term  # line 15: DF011 (stale after the sleep)
+        yield self.rt.sleep(5.0)
+        return ("leader", term)
+
+    def campaign_checked(self):
+        self.term += 1
+        term = self.term  # clean: revalidated against self.term below
+        yield self.rt.sleep(5.0)
+        if self.term != term:
+            return ("lost", self.term)
+        return ("leader", term)

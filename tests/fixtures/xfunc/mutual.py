@@ -1,0 +1,16 @@
+"""Mutually-recursive helpers: the shape fixpoint must terminate, not
+chase ping -> pong -> ping forever."""
+
+from repro.events.basic import Event
+
+
+def ping(n):
+    if n <= 0:
+        return Event(name="ping", source="s2")
+    return pong(n - 1)
+
+
+def pong(n):
+    if n <= 0:
+        return Event(name="pong", source="s3")
+    return ping(n - 1)

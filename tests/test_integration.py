@@ -157,7 +157,7 @@ class TestDeterminism:
 @pytest.mark.slow
 class TestStaticRuntimeSpgDiff:
     """The static analyzer's SPG approximation must predict what the
-    tracer actually observes on the 3-node Raft scenario (>= 90%)."""
+    tracer actually observes on the 3-node Raft scenario (>= 95%)."""
 
     def test_static_predicts_runtime_edges(self):
         from pathlib import Path
@@ -172,10 +172,10 @@ class TestStaticRuntimeSpgDiff:
         diff = diff_spg(static, cluster.tracer.records, [GROUP3])
 
         # The workload must have produced real inter-node waits, and at
-        # least 90% of the distinct (waiter, source, color) edges must be
+        # least 95% of the distinct (waiter, source, color) edges must be
         # statically predicted.
         assert len(diff.predicted) + len(diff.runtime_only) >= 3
-        assert diff.coverage >= 0.9
+        assert diff.coverage >= 0.95
         # The replication quorum's green group edges are among them.
         green_group = [
             edge for edge, _site in diff.predicted

@@ -70,8 +70,8 @@ class TestGoldenJson:
         golden = json.loads((FIXTURES / "expected_lint.json").read_text())
         assert payload == golden
         assert code == EXIT_FINDINGS
-        assert payload["summary"]["errors"] == 4
-        assert payload["summary"]["warnings"] == 3
+        assert payload["summary"]["errors"] == 6
+        assert payload["summary"]["warnings"] == 8
 
 
 class TestRepoIsLintClean:
